@@ -1,0 +1,206 @@
+#include "bench/common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "src/art/art.h"
+#include "src/bptree/bptree.h"
+#include "src/common/rng.h"
+#include "src/common/timing.h"
+#include "src/core/wormhole.h"
+#include "src/cuckoo/cuckoo.h"
+#include "src/masstree/masstree.h"
+#include "src/skiplist/skiplist.h"
+
+namespace wh {
+
+BenchEnv GetBenchEnv() {
+  BenchEnv env;
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  env.threads = hw < 16 ? (hw > 0 ? hw : 1) : 16;
+  if (const char* s = std::getenv("WH_BENCH_SCALE")) {
+    env.scale = std::atof(s);
+  }
+  if (const char* s = std::getenv("WH_BENCH_THREADS")) {
+    env.threads = std::atoi(s);
+  }
+  if (const char* s = std::getenv("WH_BENCH_SECONDS")) {
+    env.seconds = std::atof(s);
+  }
+  return env;
+}
+
+namespace {
+
+template <typename T>
+class Adapter : public IndexIface {
+ public:
+  template <typename... Args>
+  explicit Adapter(const char* name, Args&&... args)
+      : name_(name), index_(std::forward<Args>(args)...) {}
+
+  const char* name() const override { return name_; }
+  bool Get(std::string_view key, std::string* value) override {
+    return index_.Get(key, value);
+  }
+  void Put(std::string_view key, std::string_view value) override {
+    index_.Put(key, value);
+  }
+  bool Delete(std::string_view key) override { return index_.Delete(key); }
+  size_t Scan(std::string_view start, size_t count,
+              const std::function<bool(std::string_view, std::string_view)>& fn) override {
+    if constexpr (std::is_same_v<T, CuckooHash>) {
+      (void)start;
+      (void)count;
+      (void)fn;
+      return 0;  // unordered index: no range support (that is the point)
+    } else {
+      return index_.Scan(start, count, fn);
+    }
+  }
+  uint64_t MemoryBytes() const override { return index_.MemoryBytes(); }
+  bool thread_safe_writes() const override {
+    return std::is_same_v<T, Wormhole> || std::is_same_v<T, Masstree>;
+  }
+
+  T& raw() { return index_; }
+
+ private:
+  const char* name_;
+  T index_;
+};
+
+Options AblationOptions(int level) {
+  // level 0 = BaseWormhole; each level adds one optimization in paper order:
+  // +TagMatching, +IncHashing, +SortByTag, +DirectPos.
+  Options opt;
+  opt.tag_matching = level >= 1;
+  opt.inc_hashing = level >= 2;
+  opt.sort_by_tag = level >= 3;
+  opt.direct_pos = level >= 4;
+  return opt;
+}
+
+}  // namespace
+
+std::unique_ptr<IndexIface> MakeIndex(const std::string& name) {
+  if (name == "SkipList") {
+    return std::make_unique<Adapter<SkipList>>("SkipList");
+  }
+  if (name == "B+tree") {
+    return std::make_unique<Adapter<BPlusTree>>("B+tree", 128);
+  }
+  if (name == "ART") {
+    return std::make_unique<Adapter<ArtTree>>("ART");
+  }
+  if (name == "Masstree") {
+    return std::make_unique<Adapter<Masstree>>("Masstree");
+  }
+  if (name == "Wormhole") {
+    return std::make_unique<Adapter<Wormhole>>("Wormhole");
+  }
+  if (name == "Wormhole-unsafe") {
+    return std::make_unique<Adapter<WormholeUnsafe>>("Wormhole-unsafe");
+  }
+  if (name == "Cuckoo") {
+    return std::make_unique<Adapter<CuckooHash>>("Cuckoo", 1024);
+  }
+  if (name == "Wormhole[base]") {
+    return std::make_unique<Adapter<WormholeUnsafe>>("Wormhole[base]", AblationOptions(0));
+  }
+  if (name == "Wormhole[+tm]") {
+    return std::make_unique<Adapter<WormholeUnsafe>>("Wormhole[+tm]", AblationOptions(1));
+  }
+  if (name == "Wormhole[+ih]") {
+    return std::make_unique<Adapter<WormholeUnsafe>>("Wormhole[+ih]", AblationOptions(2));
+  }
+  if (name == "Wormhole[+st]") {
+    return std::make_unique<Adapter<WormholeUnsafe>>("Wormhole[+st]", AblationOptions(3));
+  }
+  if (name == "Wormhole[+dp]") {
+    return std::make_unique<Adapter<WormholeUnsafe>>("Wormhole[+dp]", AblationOptions(4));
+  }
+  std::fprintf(stderr, "unknown index '%s'\n", name.c_str());
+  std::abort();
+}
+
+const std::vector<std::string>& GetKeyset(KeysetId id, double scale) {
+  static std::mutex mu;
+  static std::map<std::pair<int, long>, std::vector<std::string>> cache;
+  std::lock_guard<std::mutex> g(mu);
+  const auto key = std::make_pair(static_cast<int>(id), std::lround(scale * 1e6));
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    KeysetSpec spec{id, ScaledCount(id, scale), 1};
+    it = cache.emplace(key, GenerateKeyset(spec)).first;
+  }
+  return it->second;
+}
+
+void LoadIndex(IndexIface* index, const std::vector<std::string>& keys) {
+  for (const auto& k : keys) {
+    index->Put(k, std::string_view("valuevalu", 8));
+  }
+}
+
+double RunThroughput(int threads, double seconds,
+                     const std::function<uint64_t(int, const std::atomic<bool>&)>& worker) {
+  std::atomic<bool> stop{false};
+  std::vector<uint64_t> counts(static_cast<size_t>(threads), 0);
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads));
+  Timer timer;
+  for (int t = 0; t < threads; t++) {
+    pool.emplace_back([&, t] { counts[static_cast<size_t>(t)] = worker(t, stop); });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true, std::memory_order_release);
+  for (auto& th : pool) {
+    th.join();
+  }
+  const double elapsed = timer.ElapsedSeconds();
+  uint64_t total = 0;
+  for (const uint64_t c : counts) {
+    total += c;
+  }
+  return static_cast<double>(total) / elapsed / 1e6;
+}
+
+double LookupThroughput(IndexIface* index, const std::vector<std::string>& keys,
+                        int threads, double seconds) {
+  return RunThroughput(threads, seconds, [&](int tid, const std::atomic<bool>& stop) {
+    Rng rng(0xabcd1234u + static_cast<uint64_t>(tid));
+    std::string value;
+    uint64_t ops = 0;
+    const size_t n = keys.size();
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (int burst = 0; burst < 64; burst++) {
+        index->Get(keys[rng.NextBounded(n)], &value);
+        ops++;
+      }
+    }
+    return ops;
+  });
+}
+
+void PrintHeader(const std::string& title, const std::vector<std::string>& cols) {
+  std::printf("# %s\n", title.c_str());
+  std::printf("%-18s", "index");
+  for (const auto& c : cols) {
+    std::printf("%10s", c.c_str());
+  }
+  std::printf("\n");
+}
+
+void PrintRow(const std::string& label, const std::vector<double>& values) {
+  std::printf("%-18s", label.c_str());
+  for (const double v : values) {
+    std::printf("%10.3f", v);
+  }
+  std::printf("\n");
+}
+
+}  // namespace wh

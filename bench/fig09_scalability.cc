@@ -1,0 +1,39 @@
+// Fig. 9: lookup throughput vs number of threads on the Az1 keyset, for skip
+// list, B+ tree, ART, Masstree, Wormhole, and the thread-unsafe Wormhole.
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+
+int main() {
+  const wh::BenchEnv env = wh::GetBenchEnv();
+  const auto& keys = wh::GetKeyset(wh::KeysetId::kAz1, env.scale);
+
+  std::vector<int> thread_counts;
+  for (int t = 1; t <= env.threads; t *= 2) {
+    thread_counts.push_back(t);
+  }
+  if (thread_counts.back() != env.threads) {
+    thread_counts.push_back(env.threads);
+  }
+
+  std::vector<std::string> cols;
+  cols.reserve(thread_counts.size());
+  for (const int t : thread_counts) {
+    cols.push_back(std::to_string(t) + "T");
+  }
+  wh::PrintHeader("Fig. 9: lookup throughput (MOPS) vs threads, keyset Az1", cols);
+
+  for (const char* name : {"SkipList", "B+tree", "ART", "Masstree", "Wormhole",
+                           "Wormhole-unsafe"}) {
+    auto index = wh::MakeIndex(name);
+    wh::LoadIndex(index.get(), keys);
+    std::vector<double> row;
+    row.reserve(thread_counts.size());
+    for (const int t : thread_counts) {
+      row.push_back(wh::LookupThroughput(index.get(), keys, t, env.seconds));
+    }
+    wh::PrintRow(name, row);
+  }
+  return 0;
+}

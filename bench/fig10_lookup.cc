@@ -1,0 +1,27 @@
+// Fig. 10: lookup throughput across all eight keysets for the five ordered
+// indexes (16 threads in the paper; WH_BENCH_THREADS here).
+#include <vector>
+
+#include "bench/common.h"
+
+int main() {
+  const wh::BenchEnv env = wh::GetBenchEnv();
+  std::vector<std::string> cols;
+  for (const wh::KeysetId id : wh::kAllKeysets) {
+    cols.push_back(wh::KeysetName(id));
+  }
+  wh::PrintHeader("Fig. 10: lookup throughput (MOPS), " + std::to_string(env.threads) +
+                      " threads",
+                  cols);
+  for (const char* name : {"SkipList", "B+tree", "ART", "Masstree", "Wormhole"}) {
+    std::vector<double> row;
+    for (const wh::KeysetId id : wh::kAllKeysets) {
+      const auto& keys = wh::GetKeyset(id, env.scale);
+      auto index = wh::MakeIndex(name);
+      wh::LoadIndex(index.get(), keys);
+      row.push_back(wh::LookupThroughput(index.get(), keys, env.threads, env.seconds));
+    }
+    wh::PrintRow(name, row);
+  }
+  return 0;
+}

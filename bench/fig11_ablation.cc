@@ -1,0 +1,61 @@
+// Fig. 11: contribution of each Wormhole optimization, applied incrementally to
+// BaseWormhole (B+ tree shown as the baseline): +TagMatching, +IncHashing,
+// +SortByTag, +DirectPos. Pass --extra to also report the paper's future-work
+// split-point heuristic (Options::split_shortest_anchor).
+#include <cstring>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/core/wormhole.h"
+
+int main(int argc, char** argv) {
+  const bool extra = argc > 1 && std::strcmp(argv[1], "--extra") == 0;
+  const wh::BenchEnv env = wh::GetBenchEnv();
+  std::vector<std::string> cols;
+  for (const wh::KeysetId id : wh::kAllKeysets) {
+    cols.push_back(wh::KeysetName(id));
+  }
+  wh::PrintHeader("Fig. 11: optimization ablation, lookup MOPS, " +
+                      std::to_string(env.threads) + " threads",
+                  cols);
+  for (const char* name : {"B+tree", "Wormhole[base]", "Wormhole[+tm]", "Wormhole[+ih]",
+                           "Wormhole[+st]", "Wormhole[+dp]"}) {
+    std::vector<double> row;
+    for (const wh::KeysetId id : wh::kAllKeysets) {
+      const auto& keys = wh::GetKeyset(id, env.scale);
+      auto index = wh::MakeIndex(name);
+      wh::LoadIndex(index.get(), keys);
+      row.push_back(wh::LookupThroughput(index.get(), keys, env.threads, env.seconds));
+    }
+    wh::PrintRow(name, row);
+  }
+  if (extra) {
+    // Ablation of the split-point heuristic (DESIGN.md "known deviations").
+    std::vector<double> row;
+    for (const wh::KeysetId id : wh::kAllKeysets) {
+      const auto& keys = wh::GetKeyset(id, env.scale);
+      wh::Options opt;
+      opt.split_shortest_anchor = true;
+      wh::WormholeUnsafe index(opt);
+      for (const auto& k : keys) {
+        index.Put(k, "v");
+      }
+      const double mops = wh::RunThroughput(
+          env.threads, env.seconds, [&](int tid, const std::atomic<bool>& stop) {
+            wh::Rng rng(99 + static_cast<uint64_t>(tid));
+            std::string v;
+            uint64_t ops = 0;
+            while (!stop.load(std::memory_order_relaxed)) {
+              for (int burst = 0; burst < 64; burst++) {
+                index.Get(keys[rng.NextBounded(keys.size())], &v);
+                ops++;
+              }
+            }
+            return ops;
+          });
+      row.push_back(mops);
+    }
+    wh::PrintRow("Wormhole[+split]", row);
+  }
+  return 0;
+}

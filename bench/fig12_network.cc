@@ -1,0 +1,45 @@
+// Fig. 12: lookup throughput on a networked key-value store. HERD + 100 Gb/s
+// InfiniBand is simulated by the token-bucket wire model (src/net): client
+// threads issue batches of 800 requests; request/response bytes are charged
+// against the link, which becomes the bottleneck for large keys (K10).
+#include <vector>
+
+#include "bench/common.h"
+#include "src/net/herd_sim.h"
+
+int main() {
+  const wh::BenchEnv env = wh::GetBenchEnv();
+  std::vector<std::string> cols;
+  for (const wh::KeysetId id : wh::kAllKeysets) {
+    cols.push_back(wh::KeysetName(id));
+  }
+  wh::PrintHeader("Fig. 12: networked lookup throughput (MOPS), batch=800, 100Gb/s link",
+                  cols);
+  for (const char* name : {"SkipList", "B+tree", "ART", "Masstree", "Wormhole"}) {
+    std::vector<double> row;
+    for (const wh::KeysetId id : wh::kAllKeysets) {
+      const auto& keys = wh::GetKeyset(id, env.scale);
+      auto index = wh::MakeIndex(name);
+      wh::LoadIndex(index.get(), keys);
+      wh::HerdConfig config;
+      wh::HerdStore<wh::IndexIface> store(index.get(), config);
+      const double mops = wh::RunThroughput(
+          env.threads, env.seconds, [&](int tid, const std::atomic<bool>& stop) {
+            wh::Rng rng(777 + static_cast<uint64_t>(tid));
+            std::vector<const std::string*> batch(store.config().batch_size);
+            uint64_t ops = 0;
+            while (!stop.load(std::memory_order_relaxed)) {
+              for (auto& slot : batch) {
+                slot = &keys[rng.NextBounded(keys.size())];
+              }
+              store.LookupBatch(batch);
+              ops += batch.size();
+            }
+            return ops;
+          });
+      row.push_back(mops);
+    }
+    wh::PrintRow(name, row);
+  }
+  return 0;
+}

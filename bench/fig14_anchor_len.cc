@@ -1,0 +1,43 @@
+// Fig. 14: effect of anchor length — keysets of fixed key length L with random
+// content (Kshort, short anchors) vs '0'-filled prefixes with 4 random tail bytes
+// (Klong, anchors nearly as long as keys), for Wormhole and the cuckoo hash.
+#include <vector>
+
+#include "bench/common.h"
+
+int main() {
+  const wh::BenchEnv env = wh::GetBenchEnv();
+  const size_t lengths[] = {8, 16, 32, 64, 128, 256, 512};
+  // Paper: 10M keys per keyset; proportionally scaled with a 50k floor.
+  const auto scaled = static_cast<size_t>(40000.0 * env.scale);
+  const size_t count = scaled < 50000 ? 50000 : scaled;
+
+  std::vector<std::string> cols;
+  for (const size_t len : lengths) {
+    cols.push_back(std::to_string(len) + "B");
+  }
+  wh::PrintHeader("Fig. 14: lookup MOPS vs key length, Kshort (random) / Klong (0-filled)",
+                  cols);
+  struct Variant {
+    const char* index;
+    bool zero_filled;
+    const char* label;
+  };
+  const Variant variants[] = {
+      {"Wormhole", false, "Wormhole,Kshort"},
+      {"Wormhole", true, "Wormhole,Klong"},
+      {"Cuckoo", false, "Cuckoo,Kshort"},
+      {"Cuckoo", true, "Cuckoo,Klong"},
+  };
+  for (const Variant& v : variants) {
+    std::vector<double> row;
+    for (const size_t len : lengths) {
+      const auto keys = wh::GenerateFixedLenKeyset(count, len, v.zero_filled, 33);
+      auto index = wh::MakeIndex(v.index);
+      wh::LoadIndex(index.get(), keys);
+      row.push_back(wh::LookupThroughput(index.get(), keys, env.threads, env.seconds));
+    }
+    wh::PrintRow(v.label, row);
+  }
+  return 0;
+}

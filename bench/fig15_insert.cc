@@ -1,0 +1,27 @@
+// Fig. 15: single-thread continuous-insertion throughput into an initially empty
+// index, for all five ordered indexes and all keysets.
+#include <vector>
+
+#include "bench/common.h"
+#include "src/common/timing.h"
+
+int main() {
+  const wh::BenchEnv env = wh::GetBenchEnv();
+  std::vector<std::string> cols;
+  for (const wh::KeysetId id : wh::kAllKeysets) {
+    cols.push_back(wh::KeysetName(id));
+  }
+  wh::PrintHeader("Fig. 15: insertion throughput (MOPS), single thread", cols);
+  for (const char* name : {"SkipList", "B+tree", "ART", "Masstree", "Wormhole"}) {
+    std::vector<double> row;
+    for (const wh::KeysetId id : wh::kAllKeysets) {
+      const auto& keys = wh::GetKeyset(id, env.scale);
+      auto index = wh::MakeIndex(name);
+      wh::Timer timer;
+      wh::LoadIndex(index.get(), keys);
+      row.push_back(static_cast<double>(keys.size()) / timer.ElapsedSeconds() / 1e6);
+    }
+    wh::PrintRow(name, row);
+  }
+  return 0;
+}

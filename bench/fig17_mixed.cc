@@ -1,0 +1,61 @@
+// Fig. 17: mixed lookups and insertions (5% / 50% / 95% inserts) with 16 threads,
+// Masstree (MT) vs Wormhole (WH) — the two thread-safe indexes.
+#include <atomic>
+#include <vector>
+
+#include "bench/common.h"
+
+namespace {
+
+// The paper preloads the keyset and then issues a lookup/insert mix drawn from
+// the same keyset, so insertions mostly hit existing leaves without touching the
+// MetaTrieHT ("with a big leaf node most insertions do not update the
+// MetaTrieHT", section 4.3). We reproduce that: inserts are Puts of keyset keys.
+double MixedThroughput(wh::IndexIface* index, const std::vector<std::string>& keys,
+                       int insert_pct, int threads, double seconds) {
+  return wh::RunThroughput(threads, seconds, [&](int tid, const std::atomic<bool>& stop) {
+    wh::Rng rng(31337 + static_cast<uint64_t>(tid));
+    std::string value;
+    uint64_t ops = 0;
+    const size_t n = keys.size();
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (int burst = 0; burst < 64; burst++) {
+        if (rng.NextBounded(100) < static_cast<uint64_t>(insert_pct)) {
+          index->Put(keys[rng.NextBounded(n)], std::string_view("valuevalu", 8));
+        } else {
+          index->Get(keys[rng.NextBounded(n)], &value);
+        }
+        ops++;
+      }
+    }
+    return ops;
+  });
+}
+
+}  // namespace
+
+int main() {
+  const wh::BenchEnv env = wh::GetBenchEnv();
+  std::vector<std::string> cols;
+  for (const wh::KeysetId id : wh::kAllKeysets) {
+    cols.push_back(wh::KeysetName(id));
+  }
+  wh::PrintHeader("Fig. 17: mixed lookup/insert throughput (MOPS), " +
+                      std::to_string(env.threads) + " threads",
+                  cols);
+  for (const char* name : {"Masstree", "Wormhole"}) {
+    for (const int pct : {5, 50, 95}) {
+      std::vector<double> row;
+      for (const wh::KeysetId id : wh::kAllKeysets) {
+        const auto& keys = wh::GetKeyset(id, env.scale);
+        auto index = wh::MakeIndex(name);
+        wh::LoadIndex(index.get(), keys);
+        row.push_back(MixedThroughput(index.get(), keys, pct, env.threads, env.seconds));
+      }
+      wh::PrintRow(std::string(name == std::string("Masstree") ? "MT" : "WH") + " (" +
+                       std::to_string(pct) + "% ins)",
+                   row);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Fig. 18: range-lookup throughput — seek to a random key and scan the following
+// (up to) 100 keys. ART is omitted exactly as in the paper (its reference
+// implementation has no range scan; ours does, shown with --with-art).
+#include <cstring>
+#include <vector>
+
+#include "bench/common.h"
+
+namespace {
+
+double RangeThroughput(wh::IndexIface* index, const std::vector<std::string>& keys,
+                       int threads, double seconds) {
+  return wh::RunThroughput(threads, seconds, [&](int tid, const std::atomic<bool>& stop) {
+    wh::Rng rng(4242 + static_cast<uint64_t>(tid));
+    uint64_t ops = 0;
+    const size_t n = keys.size();
+    size_t sink = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::string& start = keys[rng.NextBounded(n)];
+      index->Scan(start, 100, [&](std::string_view k, std::string_view) {
+        sink += k.size();
+        return true;
+      });
+      ops++;  // one range operation
+    }
+    (void)sink;
+    return ops;
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool with_art = argc > 1 && std::strcmp(argv[1], "--with-art") == 0;
+  const wh::BenchEnv env = wh::GetBenchEnv();
+  std::vector<std::string> cols;
+  for (const wh::KeysetId id : wh::kAllKeysets) {
+    cols.push_back(wh::KeysetName(id));
+  }
+  wh::PrintHeader("Fig. 18: range lookup throughput (M ranges/s, scan 100), " +
+                      std::to_string(env.threads) + " threads",
+                  cols);
+  std::vector<const char*> names = {"SkipList", "B+tree", "Masstree", "Wormhole"};
+  if (with_art) {
+    names.insert(names.begin() + 2, "ART");
+  }
+  for (const char* name : names) {
+    std::vector<double> row;
+    for (const wh::KeysetId id : wh::kAllKeysets) {
+      const auto& keys = wh::GetKeyset(id, env.scale);
+      auto index = wh::MakeIndex(name);
+      wh::LoadIndex(index.get(), keys);
+      row.push_back(RangeThroughput(index.get(), keys, env.threads, env.seconds));
+    }
+    wh::PrintRow(name, row);
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Table 1: keyset descriptions — paper-scale counts/sizes plus the scaled counts
+// this harness actually uses at the current WH_BENCH_SCALE.
+#include <cstdio>
+
+#include "bench/common.h"
+
+int main() {
+  const wh::BenchEnv env = wh::GetBenchEnv();
+  std::printf("# Table 1: Description of Keysets (scale=%.3f)\n", env.scale);
+  std::printf("%-5s %-42s %12s %10s %12s %12s\n", "Name", "Description", "Paper keys(M)",
+              "Paper GB", "Bench keys", "Avg len(B)");
+  struct Row {
+    wh::KeysetId id;
+    const char* desc;
+    double paper_gb;
+  };
+  const Row rows[] = {
+      {wh::KeysetId::kAz1, "Amazon-style metadata, item-user-time", 8.5},
+      {wh::KeysetId::kAz2, "Amazon-style metadata, user-item-time", 8.5},
+      {wh::KeysetId::kUrl, "Memetracker-style URLs", 20.0},
+      {wh::KeysetId::kK3, "Random keys, length 8 B", 11.2},
+      {wh::KeysetId::kK4, "Random keys, length 16 B", 8.9},
+      {wh::KeysetId::kK6, "Random keys, length 64 B", 8.9},
+      {wh::KeysetId::kK8, "Random keys, length 256 B", 10.1},
+      {wh::KeysetId::kK10, "Random keys, length 1024 B", 9.7},
+  };
+  for (const Row& r : rows) {
+    const auto& keys = wh::GetKeyset(r.id, env.scale);
+    double total = 0;
+    for (const auto& k : keys) {
+      total += static_cast<double>(k.size());
+    }
+    std::printf("%-5s %-42s %12.0f %10.1f %12zu %12.1f\n", wh::KeysetName(r.id), r.desc,
+                wh::KeysetPaperMillions(r.id), r.paper_gb, keys.size(),
+                total / static_cast<double>(keys.size()));
+  }
+  return 0;
+}
