@@ -1,5 +1,6 @@
 #include "bench/common.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -29,6 +30,20 @@ BenchEnv GetBenchEnv() {
   }
   if (const char* s = std::getenv("WH_BENCH_SECONDS")) {
     env.seconds = std::atof(s);
+  }
+  // Unparseable or hostile knobs degrade to minimal-but-valid runs.
+  if (env.threads < 1) {
+    env.threads = 1;
+  } else if (env.threads > 256) {
+    env.threads = 256;
+  }
+  if (!(env.scale > 0.0)) {
+    env.scale = 0.001;
+  } else if (env.scale > 400.0) {
+    env.scale = 400.0;  // paper-scale is ~250; beyond that counts overflow
+  }
+  if (!(env.seconds > 0.0)) {
+    env.seconds = 0.05;
   }
   return env;
 }
@@ -122,6 +137,12 @@ std::unique_ptr<IndexIface> MakeIndex(const std::string& name) {
   }
   if (name == "Wormhole[+dp]") {
     return std::make_unique<Adapter<WormholeUnsafe>>("Wormhole[+dp]", AblationOptions(4));
+  }
+  if (name == "Wormhole[+split]") {
+    // All optimizations plus the future-work split-point heuristic.
+    Options opt = AblationOptions(4);
+    opt.split_shortest_anchor = true;
+    return std::make_unique<Adapter<WormholeUnsafe>>("Wormhole[+split]", opt);
   }
   std::fprintf(stderr, "unknown index '%s'\n", name.c_str());
   std::abort();

@@ -45,7 +45,8 @@ class IndexIface {
 
 // Factory names: "SkipList", "B+tree", "ART", "Masstree", "Wormhole",
 // "Wormhole-unsafe", "Cuckoo", plus "Wormhole[base|+tm|+ih|+st|+dp]" for the
-// Fig. 11 ablation configurations.
+// Fig. 11 ablation configurations and "Wormhole[+split]" for the split-point
+// heuristic on top of them.
 std::unique_ptr<IndexIface> MakeIndex(const std::string& name);
 
 // Cached keyset access (generation is deterministic; cache avoids regenerating

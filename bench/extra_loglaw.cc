@@ -9,6 +9,7 @@
 #include <cmath>
 
 #include "bench/common.h"
+#include "src/common/rng.h"
 #include "src/core/wormhole.h"
 
 namespace {

@@ -6,7 +6,6 @@
 #include <vector>
 
 #include "bench/common.h"
-#include "src/core/wormhole.h"
 
 int main(int argc, char** argv) {
   const bool extra = argc > 1 && std::strcmp(argv[1], "--extra") == 0;
@@ -18,8 +17,12 @@ int main(int argc, char** argv) {
   wh::PrintHeader("Fig. 11: optimization ablation, lookup MOPS, " +
                       std::to_string(env.threads) + " threads",
                   cols);
-  for (const char* name : {"B+tree", "Wormhole[base]", "Wormhole[+tm]", "Wormhole[+ih]",
-                           "Wormhole[+st]", "Wormhole[+dp]"}) {
+  std::vector<const char*> names = {"B+tree",        "Wormhole[base]", "Wormhole[+tm]",
+                                    "Wormhole[+ih]", "Wormhole[+st]",  "Wormhole[+dp]"};
+  if (extra) {
+    names.push_back("Wormhole[+split]");
+  }
+  for (const char* name : names) {
     std::vector<double> row;
     for (const wh::KeysetId id : wh::kAllKeysets) {
       const auto& keys = wh::GetKeyset(id, env.scale);
@@ -28,34 +31,6 @@ int main(int argc, char** argv) {
       row.push_back(wh::LookupThroughput(index.get(), keys, env.threads, env.seconds));
     }
     wh::PrintRow(name, row);
-  }
-  if (extra) {
-    // Ablation of the split-point heuristic (DESIGN.md "known deviations").
-    std::vector<double> row;
-    for (const wh::KeysetId id : wh::kAllKeysets) {
-      const auto& keys = wh::GetKeyset(id, env.scale);
-      wh::Options opt;
-      opt.split_shortest_anchor = true;
-      wh::WormholeUnsafe index(opt);
-      for (const auto& k : keys) {
-        index.Put(k, "v");
-      }
-      const double mops = wh::RunThroughput(
-          env.threads, env.seconds, [&](int tid, const std::atomic<bool>& stop) {
-            wh::Rng rng(99 + static_cast<uint64_t>(tid));
-            std::string v;
-            uint64_t ops = 0;
-            while (!stop.load(std::memory_order_relaxed)) {
-              for (int burst = 0; burst < 64; burst++) {
-                index.Get(keys[rng.NextBounded(keys.size())], &v);
-                ops++;
-              }
-            }
-            return ops;
-          });
-      row.push_back(mops);
-    }
-    wh::PrintRow("Wormhole[+split]", row);
   }
   return 0;
 }

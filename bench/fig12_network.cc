@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "bench/common.h"
+#include "src/common/rng.h"
 #include "src/net/herd_sim.h"
 
 int main() {

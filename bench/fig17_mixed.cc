@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "bench/common.h"
+#include "src/common/rng.h"
 
 namespace {
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "bench/common.h"
+#include "src/common/rng.h"
 
 namespace {
 

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Tier-1 verify plus an AddressSanitizer pass.
+#
+#   scripts/check.sh          # release build + full ctest, then ASan build + tests
+#   scripts/check.sh --fast   # release build + unit-labeled tests only
+#
+# ctest labels: "unit" (fast, deterministic) and "smoke" (multithreaded +
+# bench end-to-end runs). Filter with: ctest -L unit / ctest -L smoke.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST=0
+if [[ "${1:-}" == "--fast" ]]; then
+  FAST=1
+fi
+
+echo "=== tier-1: configure + build ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)"
+
+echo "=== tier-1: ctest ==="
+if [[ "$FAST" == 1 ]]; then
+  ctest --test-dir build --output-on-failure -L unit
+  exit 0
+fi
+ctest --test-dir build --output-on-failure
+
+echo "=== asan: configure + build ==="
+cmake -B build-asan -S . -DWH_ASAN=ON >/dev/null
+cmake --build build-asan -j "$(nproc)"
+
+echo "=== asan: ctest (unit + concurrent smoke) ==="
+ctest --test-dir build-asan --output-on-failure -R 'test_'
+
+echo "All checks passed."

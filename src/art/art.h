@@ -1,0 +1,72 @@
+// Adaptive Radix Tree (Leis et al., ICDE'13): radix nodes that grow through
+// 4/16/48/256-way layouts, with pessimistic path compression. Unlike the
+// reference implementation, ours supports ordered range scans (bench fig18
+// exposes them behind --with-art).
+//
+// Keys are traversed in a NUL-terminated key space so that one key may be a
+// prefix of another; keys containing a NUL byte are therefore not supported
+// (all workload generators emit printable bytes). Single-writer only.
+#ifndef WH_SRC_ART_ART_H_
+#define WH_SRC_ART_ART_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/scan.h"
+
+namespace wh {
+
+class ArtTree {
+ public:
+  ArtTree() = default;
+  ~ArtTree();
+  ArtTree(const ArtTree&) = delete;
+  ArtTree& operator=(const ArtTree&) = delete;
+
+  bool Get(std::string_view key, std::string* value);
+  void Put(std::string_view key, std::string_view value);
+  bool Delete(std::string_view key);
+  size_t Scan(std::string_view start, size_t count, const ScanFn& fn);
+  uint64_t MemoryBytes() const;
+
+ private:
+  enum class NodeType : uint8_t { kLeaf, kNode4, kNode16, kNode48, kNode256 };
+
+  struct ArtNode {
+    NodeType type;
+  };
+  struct ArtLeaf;
+  struct Inner;
+  struct Node4;
+  struct Node16;
+  struct Node48;
+  struct Node256;
+
+  struct ScanCtx {
+    std::string_view start;
+    const ScanFn& fn;
+    size_t limit;
+    size_t emitted = 0;
+    bool stopped = false;
+  };
+
+  static ArtNode** FindChild(Inner* in, uint8_t byte);
+  // Adds a child, growing the node (and updating *ref) if it is full.
+  static void AddChild(ArtNode** ref, uint8_t byte, ArtNode* child);
+  static void RemoveChild(ArtNode** ref, uint8_t byte);
+  static void FreeNode(ArtNode* n);
+  static uint64_t NodeBytes(const ArtNode* n);
+  static void ScanNode(const ArtNode* n, const std::string& tk_start, size_t depth,
+                       bool free, ScanCtx& ctx);
+  static void ScanChild(const Inner* in, const ArtNode* child, uint8_t byte,
+                        const std::string& tk_start, size_t depth, bool free,
+                        ScanCtx& ctx);
+
+  ArtNode* root_ = nullptr;
+};
+
+}  // namespace wh
+
+#endif  // WH_SRC_ART_ART_H_

@@ -1,0 +1,173 @@
+#include "src/bptree/bptree.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "src/common/bytes.h"
+
+namespace wh {
+
+BPlusTree::BPlusTree(int fanout) : fanout_(fanout < 4 ? 4 : static_cast<size_t>(fanout)) {
+  root_ = new BNode;
+  root_->is_leaf = true;
+}
+
+BPlusTree::~BPlusTree() { FreeNode(root_); }
+
+void BPlusTree::FreeNode(BNode* node) {
+  if (!node->is_leaf) {
+    for (BNode* c : node->children) {
+      FreeNode(c);
+    }
+  }
+  delete node;
+}
+
+BPlusTree::BNode* BPlusTree::FindLeaf(std::string_view key) const {
+  BNode* node = root_;
+  while (!node->is_leaf) {
+    // Child i holds keys in [keys[i-1], keys[i]); separators descend right.
+    const size_t idx = static_cast<size_t>(
+        std::upper_bound(node->keys.begin(), node->keys.end(), key) -
+        node->keys.begin());
+    node = node->children[idx];
+  }
+  return node;
+}
+
+bool BPlusTree::Get(std::string_view key, std::string* value) {
+  BNode* leaf = FindLeaf(key);
+  auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  if (it == leaf->keys.end() || *it != key) {
+    return false;
+  }
+  if (value != nullptr) {
+    value->assign(leaf->values[static_cast<size_t>(it - leaf->keys.begin())]);
+  }
+  return true;
+}
+
+void BPlusTree::SplitChild(BNode* parent, size_t idx) {
+  BNode* left = parent->children[idx];
+  BNode* right = new BNode;
+  right->is_leaf = left->is_leaf;
+  const size_t n = left->keys.size();
+  std::string separator;
+  if (left->is_leaf) {
+    const size_t mid = n / 2;
+    separator = left->keys[mid];
+    right->keys.assign(std::make_move_iterator(left->keys.begin() + static_cast<ptrdiff_t>(mid)),
+                       std::make_move_iterator(left->keys.end()));
+    right->values.assign(std::make_move_iterator(left->values.begin() + static_cast<ptrdiff_t>(mid)),
+                         std::make_move_iterator(left->values.end()));
+    left->keys.resize(mid);
+    left->values.resize(mid);
+    right->next = left->next;
+    left->next = right;
+  } else {
+    const size_t mid = n / 2;  // keys[mid] moves up
+    separator = std::move(left->keys[mid]);
+    right->keys.assign(std::make_move_iterator(left->keys.begin() + static_cast<ptrdiff_t>(mid) + 1),
+                       std::make_move_iterator(left->keys.end()));
+    right->children.assign(left->children.begin() + static_cast<ptrdiff_t>(mid) + 1,
+                           left->children.end());
+    left->keys.resize(mid);
+    left->children.resize(mid + 1);
+  }
+  parent->keys.insert(parent->keys.begin() + static_cast<ptrdiff_t>(idx),
+                      std::move(separator));
+  parent->children.insert(parent->children.begin() + static_cast<ptrdiff_t>(idx) + 1,
+                          right);
+}
+
+void BPlusTree::InsertNonFull(BNode* node, std::string_view key,
+                              std::string_view value) {
+  while (!node->is_leaf) {
+    size_t idx = static_cast<size_t>(
+        std::upper_bound(node->keys.begin(), node->keys.end(), key) -
+        node->keys.begin());
+    if (node->children[idx]->keys.size() >= fanout_) {
+      SplitChild(node, idx);
+      if (key >= node->keys[idx]) {
+        idx++;
+      }
+    }
+    node = node->children[idx];
+  }
+  auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
+  const size_t pos = static_cast<size_t>(it - node->keys.begin());
+  if (it != node->keys.end() && *it == key) {
+    node->values[pos].assign(value);
+    return;
+  }
+  node->keys.insert(it, std::string(key));
+  node->values.insert(node->values.begin() + static_cast<ptrdiff_t>(pos),
+                      std::string(value));
+}
+
+void BPlusTree::Put(std::string_view key, std::string_view value) {
+  if (root_->keys.size() >= fanout_) {
+    BNode* old_root = root_;
+    root_ = new BNode;
+    root_->is_leaf = false;
+    root_->children.push_back(old_root);
+    SplitChild(root_, 0);
+  }
+  InsertNonFull(root_, key, value);
+}
+
+bool BPlusTree::Delete(std::string_view key) {
+  BNode* leaf = FindLeaf(key);
+  auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  if (it == leaf->keys.end() || *it != key) {
+    return false;
+  }
+  const size_t pos = static_cast<size_t>(it - leaf->keys.begin());
+  leaf->keys.erase(it);
+  leaf->values.erase(leaf->values.begin() + static_cast<ptrdiff_t>(pos));
+  return true;
+}
+
+size_t BPlusTree::Scan(std::string_view start, size_t count, const ScanFn& fn) {
+  BNode* leaf = FindLeaf(start);
+  size_t pos = static_cast<size_t>(
+      std::lower_bound(leaf->keys.begin(), leaf->keys.end(), start) -
+      leaf->keys.begin());
+  size_t emitted = 0;
+  while (leaf != nullptr && emitted < count) {
+    if (pos >= leaf->keys.size()) {
+      leaf = leaf->next;  // lazily-emptied leaves are skipped here
+      pos = 0;
+      continue;
+    }
+    emitted++;
+    if (!fn(leaf->keys[pos], leaf->values[pos])) {
+      break;
+    }
+    pos++;
+  }
+  return emitted;
+}
+
+uint64_t BPlusTree::NodeBytes(const BNode* node) const {
+  uint64_t total = sizeof(BNode);
+  total += node->keys.capacity() * sizeof(std::string);
+  total += node->values.capacity() * sizeof(std::string);
+  total += node->children.capacity() * sizeof(BNode*);
+  for (const std::string& k : node->keys) {
+    total += StrHeapBytes(k);
+  }
+  for (const std::string& v : node->values) {
+    total += StrHeapBytes(v);
+  }
+  if (!node->is_leaf) {
+    for (const BNode* c : node->children) {
+      total += NodeBytes(c);
+    }
+  }
+  return total;
+}
+
+uint64_t BPlusTree::MemoryBytes() const { return sizeof(*this) + NodeBytes(root_); }
+
+}  // namespace wh

@@ -1,0 +1,53 @@
+// In-memory B+ tree with configurable fanout and chained leaves. Deletion is
+// lazy (keys leave their leaf but nodes are not rebalanced), which keeps the
+// structure simple and is harmless for the read-heavy paper workloads.
+// Single-writer only.
+#ifndef WH_SRC_BPTREE_BPTREE_H_
+#define WH_SRC_BPTREE_BPTREE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/scan.h"
+
+namespace wh {
+
+class BPlusTree {
+ public:
+  explicit BPlusTree(int fanout);
+  ~BPlusTree();
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  bool Get(std::string_view key, std::string* value);
+  void Put(std::string_view key, std::string_view value);
+  bool Delete(std::string_view key);
+  size_t Scan(std::string_view start, size_t count, const ScanFn& fn);
+  uint64_t MemoryBytes() const;
+
+ private:
+  struct BNode {
+    bool is_leaf;
+    std::vector<std::string> keys;
+    std::vector<BNode*> children;    // internal: keys.size() + 1 entries
+    std::vector<std::string> values;  // leaf: parallel to keys
+    BNode* next = nullptr;            // leaf chain
+  };
+
+  BNode* FindLeaf(std::string_view key) const;
+  // Splits a full child in place; separator and new right sibling are
+  // inserted into the parent at child index `idx`.
+  void SplitChild(BNode* parent, size_t idx);
+  void InsertNonFull(BNode* node, std::string_view key, std::string_view value);
+  void FreeNode(BNode* node);
+  uint64_t NodeBytes(const BNode* node) const;
+
+  const size_t fanout_;  // max keys per node
+  BNode* root_;
+};
+
+}  // namespace wh
+
+#endif  // WH_SRC_BPTREE_BPTREE_H_

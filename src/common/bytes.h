@@ -1,0 +1,18 @@
+// Shared memory-accounting helper.
+#ifndef WH_SRC_COMMON_BYTES_H_
+#define WH_SRC_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace wh {
+
+// Heap bytes behind a std::string. Assumes libstdc++'s 15-byte SSO buffer;
+// an inline capacity at or below it allocates nothing.
+inline uint64_t StrHeapBytes(const std::string& s) {
+  return s.capacity() > 15 ? s.capacity() + 1 : 0;
+}
+
+}  // namespace wh
+
+#endif  // WH_SRC_COMMON_BYTES_H_

@@ -1,0 +1,74 @@
+#include "src/common/crc32c.h"
+
+#include <cstring>
+
+#if defined(__SSE4_2__)
+#include <nmmintrin.h>
+#endif
+
+namespace wh {
+namespace {
+
+#if !defined(__SSE4_2__)
+
+// Slice-by-8 tables, generated once at startup from the Castagnoli polynomial.
+struct Tables {
+  uint32_t t[8][256];
+  Tables() {
+    constexpr uint32_t kPoly = 0x82f63b78u;  // reflected 0x1EDC6F41
+    for (uint32_t i = 0; i < 256; i++) {
+      uint32_t crc = i;
+      for (int b = 0; b < 8; b++) {
+        crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; i++) {
+      for (int s = 1; s < 8; s++) {
+        t[s][i] = (t[s - 1][i] >> 8) ^ t[0][t[s - 1][i] & 0xff];
+      }
+    }
+  }
+};
+const Tables kTables;
+
+#endif  // !__SSE4_2__
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t state, const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+#if defined(__SSE4_2__)
+  while (n >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    state = static_cast<uint32_t>(_mm_crc32_u64(state, chunk));
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    state = _mm_crc32_u8(state, *p++);
+    n--;
+  }
+#else
+  while (n >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    state ^= static_cast<uint32_t>(chunk);
+    const uint32_t hi = static_cast<uint32_t>(chunk >> 32);
+    state = kTables.t[7][state & 0xff] ^ kTables.t[6][(state >> 8) & 0xff] ^
+            kTables.t[5][(state >> 16) & 0xff] ^ kTables.t[4][state >> 24] ^
+            kTables.t[3][hi & 0xff] ^ kTables.t[2][(hi >> 8) & 0xff] ^
+            kTables.t[1][(hi >> 16) & 0xff] ^ kTables.t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    state = (state >> 8) ^ kTables.t[0][(state ^ *p++) & 0xff];
+    n--;
+  }
+#endif
+  return state;
+}
+
+}  // namespace wh

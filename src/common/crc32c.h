@@ -1,0 +1,31 @@
+// CRC32C (Castagnoli). The MetaTrieHT hashes every probed anchor prefix, so the
+// hash must support cheap incremental extension: Crc32cExtend takes a saved
+// state and appends bytes without rehashing the prefix (the IncHashing
+// optimization of the paper relies on exactly this property).
+//
+// States are "raw" (pre-inversion): chain with
+//   st = kCrc32cInit; st = Crc32cExtend(st, a, na); st = Crc32cExtend(st, b, nb);
+// The raw state is used directly as the hash value. Crc32c() returns the
+// conventional finalized checksum (~state) for one-shot use.
+#ifndef WH_SRC_COMMON_CRC32C_H_
+#define WH_SRC_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wh {
+
+inline constexpr uint32_t kCrc32cInit = 0xffffffffu;
+
+// Extends a raw CRC32C state with n bytes. Hardware-accelerated when compiled
+// with SSE4.2; table-driven (slice-by-8) otherwise.
+uint32_t Crc32cExtend(uint32_t state, const void* data, size_t n);
+
+// One-shot finalized CRC32C of a buffer.
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return ~Crc32cExtend(kCrc32cInit, data, n);
+}
+
+}  // namespace wh
+
+#endif  // WH_SRC_COMMON_CRC32C_H_

@@ -1,0 +1,58 @@
+// Deterministic 64-bit PRNG (xoshiro256** seeded via splitmix64). We do not use
+// <random>: keyset generation must be byte-identical across processes, platforms
+// and standard libraries, and libstdc++/libc++ distributions are not portable.
+#ifndef WH_SRC_COMMON_RNG_H_
+#define WH_SRC_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace wh {
+
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    uint64_t sm = seed;
+    for (uint64_t& w : s_) {
+      w = SplitMix64(sm);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, n). n must be nonzero. Multiply-shift bound (Lemire); the
+  // tiny modulo bias is irrelevant for workload generation.
+  uint64_t NextBounded(uint64_t n) {
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * n) >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+}  // namespace wh
+
+#endif  // WH_SRC_COMMON_RNG_H_

@@ -1,0 +1,14 @@
+// Shared range-scan callback type: return true to continue, false to stop.
+#ifndef WH_SRC_COMMON_SCAN_H_
+#define WH_SRC_COMMON_SCAN_H_
+
+#include <functional>
+#include <string_view>
+
+namespace wh {
+
+using ScanFn = std::function<bool(std::string_view key, std::string_view value)>;
+
+}  // namespace wh
+
+#endif  // WH_SRC_COMMON_SCAN_H_

@@ -1,0 +1,30 @@
+// Wall-clock timing helpers for the benches.
+#ifndef WH_SRC_COMMON_TIMING_H_
+#define WH_SRC_COMMON_TIMING_H_
+
+#include <chrono>
+
+namespace wh {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedNanos() const {
+    return std::chrono::duration<double, std::nano>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace wh
+
+#endif  // WH_SRC_COMMON_TIMING_H_

@@ -1,0 +1,671 @@
+#include "src/core/wormhole.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <mutex>
+
+#include "src/common/bytes.h"
+#include "src/common/crc32c.h"
+
+namespace wh {
+
+namespace {
+
+uint32_t HashPrefix(std::string_view prefix) {
+  return Crc32cExtend(kCrc32cInit, prefix.data(), prefix.size());
+}
+
+uint16_t TagOf(uint32_t hash) { return static_cast<uint16_t>(hash >> 16); }
+
+}  // namespace
+
+// One MetaTrieHT node: a distinct prefix of some anchor. lmost/rmost bound the
+// contiguous run of leaves whose anchors carry this prefix; child_bits marks
+// which next bytes extend it to a longer anchor prefix; has_terminal marks that
+// a leaf's anchor equals the prefix exactly (that leaf is then lmost).
+struct WormholeUnsafe::Node {
+  std::string prefix;
+  Leaf* lmost;
+  Leaf* rmost;
+  bool has_terminal = false;
+  uint64_t child_bits[4] = {0, 0, 0, 0};
+
+  void SetChild(uint8_t b) { child_bits[b >> 6] |= 1ull << (b & 63); }
+  void ClearChild(uint8_t b) { child_bits[b >> 6] &= ~(1ull << (b & 63)); }
+
+  // Largest child byte <= t, or -1.
+  int LargestChildLE(uint8_t t) const {
+    int w = t >> 6;
+    const int bit = t & 63;
+    uint64_t bits = child_bits[w] & (bit == 63 ? ~0ull : (2ull << bit) - 1);
+    while (true) {
+      if (bits != 0) {
+        return (w << 6) + 63 - __builtin_clzll(bits);
+      }
+      if (--w < 0) {
+        return -1;
+      }
+      bits = child_bits[w];
+    }
+  }
+};
+
+WormholeUnsafe::WormholeUnsafe(const Options& opt) : opt_(opt) {
+  // Slot ids in the leaf indexes are uint16_t; keep a safety margin.
+  if (opt_.leaf_capacity < 4) {
+    opt_.leaf_capacity = 4;
+  } else if (opt_.leaf_capacity > 4096) {
+    opt_.leaf_capacity = 4096;
+  }
+  buckets_.resize(256);
+  bucket_mask_ = buckets_.size() - 1;
+  head_ = new Leaf;  // anchor "" — covers everything until the first split
+  root_ = new Node;
+  root_->lmost = root_->rmost = head_;
+  root_->has_terminal = true;
+  InsertEntry(HashPrefix({}), root_);
+  node_count_ = 1;
+}
+
+WormholeUnsafe::~WormholeUnsafe() {
+  for (Leaf* l = head_; l != nullptr;) {
+    Leaf* next = l->next;
+    delete l;
+    l = next;
+  }
+  for (Bucket& b : buckets_) {
+    for (const Entry& e : b) {
+      delete e.node;
+    }
+  }
+}
+
+// --- MetaTrieHT hash table -------------------------------------------------
+
+WormholeUnsafe::Node* WormholeUnsafe::LookupNode(uint32_t hash,
+                                                 std::string_view prefix) const {
+  const Bucket& b = buckets_[hash & bucket_mask_];
+  const uint16_t tag = TagOf(hash);
+  if (opt_.sort_by_tag) {
+    auto it = std::lower_bound(
+        b.begin(), b.end(), tag,
+        [](const Entry& e, uint16_t t) { return TagOf(e.hash) < t; });
+    for (; it != b.end() && TagOf(it->hash) == tag; ++it) {
+      if (it->node->prefix == prefix) {
+        return it->node;
+      }
+    }
+    return nullptr;
+  }
+  for (const Entry& e : b) {
+    if (opt_.tag_matching && TagOf(e.hash) != tag) {
+      continue;
+    }
+    if (e.node->prefix == prefix) {
+      return e.node;
+    }
+  }
+  return nullptr;
+}
+
+WormholeUnsafe::Node* WormholeUnsafe::LookupChild(uint32_t hash,
+                                                  std::string_view prefix,
+                                                  char extra) const {
+  const Bucket& b = buckets_[hash & bucket_mask_];
+  const uint16_t tag = TagOf(hash);
+  const size_t len = prefix.size() + 1;
+  for (const Entry& e : b) {
+    if (opt_.tag_matching && TagOf(e.hash) != tag) {
+      continue;
+    }
+    const std::string& p = e.node->prefix;
+    if (p.size() == len && p.back() == extra &&
+        std::memcmp(p.data(), prefix.data(), prefix.size()) == 0) {
+      return e.node;
+    }
+  }
+  return nullptr;
+}
+
+void WormholeUnsafe::InsertEntry(uint32_t hash, Node* node) {
+  Bucket& b = buckets_[hash & bucket_mask_];
+  if (opt_.sort_by_tag) {
+    const uint16_t tag = TagOf(hash);
+    auto it = std::lower_bound(
+        b.begin(), b.end(), tag,
+        [](const Entry& e, uint16_t t) { return TagOf(e.hash) < t; });
+    b.insert(it, Entry{hash, node});
+  } else {
+    b.push_back(Entry{hash, node});
+  }
+}
+
+void WormholeUnsafe::RemoveEntry(uint32_t hash, Node* node) {
+  Bucket& b = buckets_[hash & bucket_mask_];
+  for (size_t i = 0; i < b.size(); i++) {
+    if (b[i].node == node) {
+      b.erase(b.begin() + static_cast<ptrdiff_t>(i));
+      return;
+    }
+  }
+  assert(false && "MetaTrieHT entry missing on removal");
+}
+
+void WormholeUnsafe::MaybeGrowTable() {
+  if (node_count_ <= buckets_.size() * 2) {
+    return;
+  }
+  std::vector<Bucket> old = std::move(buckets_);
+  buckets_.assign(old.size() * 2, Bucket());
+  bucket_mask_ = buckets_.size() - 1;
+  for (Bucket& b : old) {
+    for (const Entry& e : b) {
+      InsertEntry(e.hash, e.node);
+    }
+  }
+}
+
+// --- lookup ----------------------------------------------------------------
+
+WormholeUnsafe::Node* WormholeUnsafe::Lpm(std::string_view key,
+                                          uint32_t* state_out) {
+  // All prefixes of every anchor are present, so "prefix length m is a node"
+  // is monotone in m and binary search applies: O(log L) probes.
+  size_t lo = 0;
+  size_t hi = std::min(key.size(), max_anchor_len_);
+  uint32_t lo_state = kCrc32cInit;
+  Node* best = root_;
+  uint64_t probes = 0;
+  while (lo < hi) {
+    const size_t m = (lo + hi + 1) / 2;
+    const uint32_t st = opt_.inc_hashing
+                            ? Crc32cExtend(lo_state, key.data() + lo, m - lo)
+                            : Crc32cExtend(kCrc32cInit, key.data(), m);
+    probes++;
+    Node* n = LookupNode(st, key.substr(0, m));
+    if (n != nullptr) {
+      best = n;
+      lo = m;
+      lo_state = st;
+    } else {
+      hi = m - 1;
+    }
+  }
+  if (opt_.count_probes) {
+    probes_.fetch_add(probes, std::memory_order_relaxed);
+  }
+  *state_out = lo_state;
+  return best;
+}
+
+WormholeUnsafe::Leaf* WormholeUnsafe::FindLeaf(std::string_view key) {
+  if (opt_.count_probes) {
+    lookups_.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint32_t state;
+  Node* n = Lpm(key, &state);
+  const size_t m = n->prefix.size();
+  if (m == key.size()) {
+    // The key itself is an anchor prefix. If it is exactly an anchor, that
+    // leaf covers it; otherwise every anchor below n is longer, hence greater.
+    return n->has_terminal ? n->lmost : n->lmost->prev;
+  }
+  const uint8_t t = static_cast<uint8_t>(key[m]);
+  // A child equal to t cannot exist (it would extend the longest match), so c
+  // is the largest child strictly below the key's next byte.
+  const int c = n->LargestChildLE(t);
+  if (c < 0) {
+    return n->has_terminal ? n->lmost : n->lmost->prev;
+  }
+  const char cb = static_cast<char>(c);
+  const uint32_t child_hash = Crc32cExtend(state, &cb, 1);
+  if (opt_.count_probes) {
+    probes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  Node* child = LookupChild(child_hash, n->prefix, cb);
+  assert(child != nullptr);
+  // Everything under the child sorts below the key; its rightmost leaf is the
+  // one with the largest anchor <= key.
+  return child->rmost;
+}
+
+// --- leaf operations -------------------------------------------------------
+
+int WormholeUnsafe::FindSlot(Leaf* leaf, std::string_view key) const {
+  const std::vector<Item>& slots = leaf->slots;
+  if (opt_.direct_pos) {
+    // Binary search by (hash, key): almost always pure 4-byte comparisons.
+    // The full-key hash is only worth computing on this path; without
+    // DirectPos the in-leaf search is hash-free by design (Fig. 11).
+    const uint32_t hash = Crc32cExtend(kCrc32cInit, key.data(), key.size());
+    auto it = std::lower_bound(leaf->by_hash.begin(), leaf->by_hash.end(), key,
+                               [&](uint16_t id, std::string_view k) {
+                                 const Item& item = slots[id];
+                                 if (item.hash != hash) {
+                                   return item.hash < hash;
+                                 }
+                                 return item.key < k;
+                               });
+    if (it != leaf->by_hash.end() && slots[*it].hash == hash &&
+        slots[*it].key == key) {
+      return *it;
+    }
+    return -1;
+  }
+  auto it = std::lower_bound(
+      leaf->by_key.begin(), leaf->by_key.end(), key,
+      [&](uint16_t id, std::string_view k) { return slots[id].key < k; });
+  if (it != leaf->by_key.end() && slots[*it].key == key) {
+    return *it;
+  }
+  return -1;
+}
+
+void WormholeUnsafe::InsertIntoLeaf(Leaf* leaf, std::string_view key,
+                                    std::string_view value) {
+  const uint32_t hash =
+      opt_.direct_pos ? Crc32cExtend(kCrc32cInit, key.data(), key.size()) : 0;
+  const uint16_t id = static_cast<uint16_t>(leaf->slots.size());
+  leaf->slots.push_back(Item{hash, std::string(key), std::string(value)});
+  const std::vector<Item>& slots = leaf->slots;
+  auto kit = std::lower_bound(
+      leaf->by_key.begin(), leaf->by_key.end(), key,
+      [&](uint16_t a, std::string_view k) { return slots[a].key < k; });
+  leaf->by_key.insert(kit, id);
+  if (opt_.direct_pos) {
+    auto hit = std::lower_bound(leaf->by_hash.begin(), leaf->by_hash.end(), id,
+                                [&](uint16_t a, uint16_t b) {
+                                  if (slots[a].hash != slots[b].hash) {
+                                    return slots[a].hash < slots[b].hash;
+                                  }
+                                  return slots[a].key < slots[b].key;
+                                });
+    leaf->by_hash.insert(hit, id);
+  }
+}
+
+void WormholeUnsafe::EraseFromLeaf(Leaf* leaf, uint16_t id) {
+  const uint16_t last = static_cast<uint16_t>(leaf->slots.size() - 1);
+  // Leaves hold at most leaf_capacity (~128) items: linear index fixups are
+  // cheap and immune to comparator subtleties.
+  auto fixup = [&](std::vector<uint16_t>& index) {
+    size_t erase_pos = index.size();
+    for (size_t i = 0; i < index.size(); i++) {
+      if (index[i] == id) {
+        erase_pos = i;
+      } else if (index[i] == last) {
+        index[i] = id;  // the last slot moves into the erased position
+      }
+    }
+    assert(erase_pos < index.size());
+    index.erase(index.begin() + static_cast<ptrdiff_t>(erase_pos));
+  };
+  fixup(leaf->by_key);
+  if (opt_.direct_pos) {
+    fixup(leaf->by_hash);
+  }
+  if (id != last) {
+    leaf->slots[id] = std::move(leaf->slots[last]);
+  }
+  leaf->slots.pop_back();
+}
+
+void WormholeUnsafe::RebuildLeafIndexes(Leaf* leaf) {
+  const std::vector<Item>& slots = leaf->slots;
+  leaf->by_key.resize(slots.size());
+  for (uint16_t i = 0; i < slots.size(); i++) {
+    leaf->by_key[i] = i;
+  }
+  std::sort(leaf->by_key.begin(), leaf->by_key.end(),
+            [&](uint16_t a, uint16_t b) { return slots[a].key < slots[b].key; });
+  if (opt_.direct_pos) {
+    leaf->by_hash = leaf->by_key;
+    std::sort(leaf->by_hash.begin(), leaf->by_hash.end(),
+              [&](uint16_t a, uint16_t b) {
+                if (slots[a].hash != slots[b].hash) {
+                  return slots[a].hash < slots[b].hash;
+                }
+                return slots[a].key < slots[b].key;
+              });
+  }
+}
+
+bool WormholeUnsafe::LeafGet(Leaf* leaf, std::string_view key, std::string* value) {
+  const int slot = FindSlot(leaf, key);
+  if (slot < 0) {
+    return false;
+  }
+  if (value != nullptr) {
+    value->assign(leaf->slots[static_cast<size_t>(slot)].value);
+  }
+  return true;
+}
+
+WormholeUnsafe::LeafPut WormholeUnsafe::LeafTryPut(Leaf* leaf, std::string_view key,
+                                                   std::string_view value) {
+  const int slot = FindSlot(leaf, key);
+  if (slot >= 0) {
+    leaf->slots[static_cast<size_t>(slot)].value.assign(value);
+    return LeafPut::kUpdated;
+  }
+  if (leaf->slots.size() >= opt_.leaf_capacity) {
+    return LeafPut::kNeedsSplit;
+  }
+  InsertIntoLeaf(leaf, key, value);
+  item_count_.fetch_add(1, std::memory_order_relaxed);
+  return LeafPut::kInserted;
+}
+
+WormholeUnsafe::LeafDelete WormholeUnsafe::LeafTryDelete(Leaf* leaf,
+                                                         std::string_view key) {
+  const int slot = FindSlot(leaf, key);
+  if (slot < 0) {
+    return LeafDelete::kNotFound;
+  }
+  if (leaf->slots.size() == 1 && leaf != head_) {
+    return LeafDelete::kNeedsMerge;
+  }
+  EraseFromLeaf(leaf, static_cast<uint16_t>(slot));
+  item_count_.fetch_sub(1, std::memory_order_relaxed);
+  return LeafDelete::kDeleted;
+}
+
+size_t WormholeUnsafe::ScanLeaf(Leaf* leaf, std::string_view start, size_t limit,
+                                const ScanFn& fn, bool* stopped) {
+  const std::vector<Item>& slots = leaf->slots;
+  auto it = std::lower_bound(
+      leaf->by_key.begin(), leaf->by_key.end(), start,
+      [&](uint16_t id, std::string_view k) { return slots[id].key < k; });
+  size_t emitted = 0;
+  for (; it != leaf->by_key.end() && emitted < limit; ++it) {
+    const Item& item = slots[*it];
+    emitted++;
+    if (!fn(item.key, item.value)) {
+      *stopped = true;
+      break;
+    }
+  }
+  return emitted;
+}
+
+// --- public single-threaded API --------------------------------------------
+
+bool WormholeUnsafe::Get(std::string_view key, std::string* value) {
+  return LeafGet(FindLeaf(key), key, value);
+}
+
+void WormholeUnsafe::Put(std::string_view key, std::string_view value) {
+  Leaf* leaf = FindLeaf(key);
+  const int slot = FindSlot(leaf, key);
+  if (slot >= 0) {
+    leaf->slots[static_cast<size_t>(slot)].value.assign(value);
+    return;
+  }
+  InsertIntoLeaf(leaf, key, value);
+  item_count_.fetch_add(1, std::memory_order_relaxed);
+  if (leaf->slots.size() > opt_.leaf_capacity) {
+    SplitLeaf(leaf);
+  }
+}
+
+bool WormholeUnsafe::Delete(std::string_view key) {
+  Leaf* leaf = FindLeaf(key);
+  const int slot = FindSlot(leaf, key);
+  if (slot < 0) {
+    return false;
+  }
+  EraseFromLeaf(leaf, static_cast<uint16_t>(slot));
+  item_count_.fetch_sub(1, std::memory_order_relaxed);
+  if (leaf->slots.empty() && leaf != head_) {
+    RemoveLeaf(leaf);
+  }
+  return true;
+}
+
+size_t WormholeUnsafe::Scan(std::string_view start, size_t count, const ScanFn& fn) {
+  size_t emitted = 0;
+  bool stopped = false;
+  for (Leaf* l = FindLeaf(start); l != nullptr && emitted < count && !stopped;
+       l = l->next) {
+    emitted += ScanLeaf(l, start, count - emitted, fn, &stopped);
+  }
+  return emitted;
+}
+
+// --- structural changes ----------------------------------------------------
+
+namespace {
+
+// Shortest prefix of right_min that compares greater than left_max — the new
+// leaf's anchor A, satisfying left_max < A <= right_min. Because left_max <
+// right_min, the first byte where right_min departs from left_max exists
+// within right_min, and cutting just past it yields the separator.
+size_t SeparatorLen(const std::string& left_max, const std::string& right_min) {
+  size_t i = 0;
+  while (i < left_max.size() && left_max[i] == right_min[i]) {
+    i++;
+  }
+  return i + 1;
+}
+
+}  // namespace
+
+void WormholeUnsafe::SplitLeaf(Leaf* left) {
+  const size_t n = left->slots.size();
+  assert(n >= 2);
+  // Materialize items in key order.
+  std::vector<Item> sorted;
+  sorted.reserve(n);
+  for (const uint16_t id : left->by_key) {
+    sorted.push_back(std::move(left->slots[id]));
+  }
+  size_t si = n / 2;
+  if (opt_.split_shortest_anchor) {
+    const size_t lo = std::max<size_t>(1, n / 4);
+    const size_t hi = std::min(n - 1, 3 * n / 4);
+    size_t best_len = SeparatorLen(sorted[si - 1].key, sorted[si].key);
+    for (size_t s = lo; s <= hi; s++) {
+      const size_t len = SeparatorLen(sorted[s - 1].key, sorted[s].key);
+      const auto dist = [&](size_t x) {
+        return x > n / 2 ? x - n / 2 : n / 2 - x;
+      };
+      if (len < best_len || (len == best_len && dist(s) < dist(si))) {
+        best_len = len;
+        si = s;
+      }
+    }
+  }
+  std::string anchor =
+      sorted[si].key.substr(0, SeparatorLen(sorted[si - 1].key, sorted[si].key));
+
+  Leaf* right = new Leaf;
+  right->anchor = std::move(anchor);
+  right->slots.assign(std::make_move_iterator(sorted.begin() + static_cast<ptrdiff_t>(si)),
+                      std::make_move_iterator(sorted.end()));
+  sorted.resize(si);
+  left->slots = std::move(sorted);
+  RebuildLeafIndexes(left);
+  RebuildLeafIndexes(right);
+
+  right->next = left->next;
+  right->prev = left;
+  if (right->next != nullptr) {
+    right->next->prev = right;
+  }
+  left->next = right;
+
+  InsertAnchor(right->anchor, right);
+}
+
+void WormholeUnsafe::InsertAnchor(const std::string& anchor, Leaf* leaf) {
+  uint32_t state = kCrc32cInit;
+  Node* parent = nullptr;
+  for (size_t d = 0; d <= anchor.size(); d++) {
+    if (d > 0) {
+      state = Crc32cExtend(state, anchor.data() + d - 1, 1);
+    }
+    const std::string_view prefix(anchor.data(), d);
+    Node* n = LookupNode(state, prefix);
+    if (n == nullptr) {
+      n = new Node;
+      n->prefix.assign(prefix);
+      n->lmost = n->rmost = leaf;
+      InsertEntry(state, n);
+      node_count_++;
+      parent->SetChild(static_cast<uint8_t>(anchor[d - 1]));  // d >= 1: root pre-exists
+    } else {
+      if (anchor < n->lmost->anchor) {
+        n->lmost = leaf;
+      }
+      if (anchor > n->rmost->anchor) {
+        n->rmost = leaf;
+      }
+    }
+    if (d == anchor.size()) {
+      n->has_terminal = true;
+    }
+    parent = n;
+  }
+  if (anchor.size() > max_anchor_len_) {
+    max_anchor_len_ = anchor.size();
+  }
+  MaybeGrowTable();
+}
+
+void WormholeUnsafe::RemoveLeaf(Leaf* leaf) {
+  assert(leaf != head_ && leaf->slots.empty());
+  const std::string& a = leaf->anchor;
+  // Prefix hash states, so each node lookup is O(1) after this O(L) pass.
+  std::vector<uint32_t> states(a.size() + 1);
+  states[0] = kCrc32cInit;
+  for (size_t d = 1; d <= a.size(); d++) {
+    states[d] = Crc32cExtend(states[d - 1], a.data() + d - 1, 1);
+  }
+  // Deepest-first: delete nodes whose subtree held only this leaf, repoint
+  // survivors' leaf bounds past it.
+  for (size_t d = a.size();; d--) {
+    Node* n = LookupNode(states[d], std::string_view(a.data(), d));
+    assert(n != nullptr);
+    if (n->lmost == leaf && n->rmost == leaf) {
+      // d >= 1 here: the root spans head_, which is never removed.
+      RemoveEntry(states[d], n);
+      node_count_--;
+      Node* parent = LookupNode(states[d - 1], std::string_view(a.data(), d - 1));
+      parent->ClearChild(static_cast<uint8_t>(a[d - 1]));
+      delete n;
+    } else {
+      if (d == a.size()) {
+        n->has_terminal = false;
+      }
+      // Anchors sharing a prefix are contiguous in the leaf list, so the
+      // neighbor is the new boundary.
+      if (n->lmost == leaf) {
+        n->lmost = leaf->next;
+      }
+      if (n->rmost == leaf) {
+        n->rmost = leaf->prev;
+      }
+    }
+    if (d == 0) {
+      break;
+    }
+  }
+  leaf->prev->next = leaf->next;
+  if (leaf->next != nullptr) {
+    leaf->next->prev = leaf->prev;
+  }
+  delete leaf;
+}
+
+// --- accounting ------------------------------------------------------------
+
+uint64_t WormholeUnsafe::MemoryBytes() const {
+  uint64_t total = sizeof(*this);
+  for (const Leaf* l = head_; l != nullptr; l = l->next) {
+    total += sizeof(Leaf) + StrHeapBytes(l->anchor);
+    total += l->slots.capacity() * sizeof(Item);
+    total += (l->by_key.capacity() + l->by_hash.capacity()) * sizeof(uint16_t);
+    for (const Item& item : l->slots) {
+      total += StrHeapBytes(item.key) + StrHeapBytes(item.value);
+    }
+  }
+  total += buckets_.capacity() * sizeof(Bucket);
+  for (const Bucket& b : buckets_) {
+    total += b.capacity() * sizeof(Entry);
+    for (const Entry& e : b) {
+      total += sizeof(Node) + StrHeapBytes(e.node->prefix);
+    }
+  }
+  return total;
+}
+
+WormholeStats WormholeUnsafe::stats() const {
+  WormholeStats s;
+  s.lookups = lookups_.load(std::memory_order_relaxed);
+  s.probes = probes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// --- thread-safe wrapper ---------------------------------------------------
+
+bool Wormhole::Get(std::string_view key, std::string* value) {
+  std::shared_lock<std::shared_mutex> g(mu_);
+  WormholeUnsafe::Leaf* leaf = core_.FindLeaf(key);
+  std::shared_lock<std::shared_mutex> s(StripeFor(leaf));
+  return core_.LeafGet(leaf, key, value);
+}
+
+void Wormhole::Put(std::string_view key, std::string_view value) {
+  {
+    // Fast path: in-leaf update/insert under a shared structure lock and an
+    // exclusive stripe lock. Splits are excluded by the shared lock, so the
+    // leaf stays valid once found.
+    std::shared_lock<std::shared_mutex> g(mu_);
+    WormholeUnsafe::Leaf* leaf = core_.FindLeaf(key);
+    std::unique_lock<std::shared_mutex> s(StripeFor(leaf));
+    if (core_.LeafTryPut(leaf, key, value) != WormholeUnsafe::LeafPut::kNeedsSplit) {
+      return;
+    }
+  }
+  // Leaf was full: retry with the structure lock held exclusively (splits).
+  std::unique_lock<std::shared_mutex> g(mu_);
+  core_.Put(key, value);
+}
+
+bool Wormhole::Delete(std::string_view key) {
+  {
+    std::shared_lock<std::shared_mutex> g(mu_);
+    WormholeUnsafe::Leaf* leaf = core_.FindLeaf(key);
+    std::unique_lock<std::shared_mutex> s(StripeFor(leaf));
+    switch (core_.LeafTryDelete(leaf, key)) {
+      case WormholeUnsafe::LeafDelete::kNotFound:
+        return false;
+      case WormholeUnsafe::LeafDelete::kDeleted:
+        return true;
+      case WormholeUnsafe::LeafDelete::kNeedsMerge:
+        break;  // would empty the leaf: needs a structural retry
+    }
+  }
+  std::unique_lock<std::shared_mutex> g(mu_);
+  return core_.Delete(key);
+}
+
+size_t Wormhole::Scan(std::string_view start, size_t count, const ScanFn& fn) {
+  std::shared_lock<std::shared_mutex> g(mu_);
+  size_t emitted = 0;
+  bool stopped = false;
+  for (WormholeUnsafe::Leaf* l = core_.FindLeaf(start);
+       l != nullptr && emitted < count && !stopped; l = l->next) {
+    std::shared_lock<std::shared_mutex> s(StripeFor(l));
+    emitted += core_.ScanLeaf(l, start, count - emitted, fn, &stopped);
+  }
+  return emitted;
+}
+
+uint64_t Wormhole::MemoryBytes() const {
+  std::unique_lock<std::shared_mutex> g(mu_);
+  return core_.MemoryBytes();
+}
+
+}  // namespace wh

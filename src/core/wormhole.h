@@ -1,0 +1,197 @@
+// Wormhole: an ordered in-memory index with O(log L) point lookups (L = key
+// length), after the EuroSys'19 paper.
+//
+// Structure: all items live in a doubly-linked list of sorted leaf nodes. Each
+// leaf owns an anchor key such that anchor <= every key in the leaf < the next
+// leaf's anchor; the first leaf's anchor is the empty string. The MetaTrieHT is
+// a hash table encoding the trie of every anchor prefix: one node per distinct
+// prefix, holding the leftmost/rightmost leaves whose anchors carry that prefix,
+// a 256-bit bitmap of child bytes, and a terminal flag (prefix == some anchor).
+//
+// A point lookup binary-searches the prefix length of the search key against
+// the hash table to find the longest prefix match (O(log L) hash probes), then
+// uses the child bitmap to locate the leaf whose anchor range covers the key —
+// no tree descent, so the cost is independent of the key count N.
+//
+// Options gates the paper's Fig. 11 ablation ladder (each optimization layered
+// on the previous):
+//   tag_matching  compare a 16-bit hash tag before any string comparison
+//   inc_hashing   extend a saved CRC32C state during the binary search instead
+//                 of rehashing each probed prefix from byte 0
+//   sort_by_tag   keep hash-bucket entries sorted by tag (early-exit search)
+//   direct_pos    per-leaf hash-ordered position index, so an in-leaf point
+//                 search compares 4-byte hashes instead of full keys
+//
+// WormholeUnsafe is the single-threaded core. Wormhole layers striped leaf
+// locks under a global shared mutex: lookups and in-leaf updates take the
+// global lock shared (plus a per-leaf stripe), and only structural changes
+// (leaf split / empty-leaf removal, both rare) take it exclusive.
+#ifndef WH_SRC_CORE_WORMHOLE_H_
+#define WH_SRC_CORE_WORMHOLE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/scan.h"
+
+namespace wh {
+
+struct Options {
+  bool tag_matching = true;
+  bool inc_hashing = true;
+  bool sort_by_tag = true;
+  bool direct_pos = true;
+  // Future-work split heuristic (paper section 6): instead of always splitting
+  // a full leaf in the middle, scan the middle half for the split point that
+  // minimizes the new anchor's length.
+  bool split_shortest_anchor = false;
+  // Count MetaTrieHT hash probes per lookup (the O(log L) validation bench).
+  bool count_probes = false;
+  // Clamped to [4, 4096]: leaf indexes use 16-bit slot ids.
+  size_t leaf_capacity = 128;
+};
+
+struct WormholeStats {
+  uint64_t lookups = 0;
+  uint64_t probes = 0;
+  double avg_probes() const {
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(probes) / static_cast<double>(lookups);
+  }
+};
+
+// Single-threaded Wormhole core. Not safe for any concurrent use.
+class WormholeUnsafe {
+ public:
+  struct Item {
+    uint32_t hash;  // raw CRC32C state of the full key
+    std::string key;
+    std::string value;
+  };
+
+  // Leaf items sit in `slots` at stable positions (append on insert,
+  // swap-with-last on erase); `by_key` holds slot ids in key order and
+  // `by_hash` (DirectPos only) holds them in (hash, key) order.
+  struct Leaf {
+    std::string anchor;
+    Leaf* prev = nullptr;
+    Leaf* next = nullptr;
+    std::vector<Item> slots;
+    std::vector<uint16_t> by_key;
+    std::vector<uint16_t> by_hash;
+  };
+
+  WormholeUnsafe() : WormholeUnsafe(Options()) {}
+  explicit WormholeUnsafe(const Options& opt);
+  ~WormholeUnsafe();
+  WormholeUnsafe(const WormholeUnsafe&) = delete;
+  WormholeUnsafe& operator=(const WormholeUnsafe&) = delete;
+
+  bool Get(std::string_view key, std::string* value);
+  void Put(std::string_view key, std::string_view value);
+  bool Delete(std::string_view key);
+  // Visits items with key >= start in key order, at most `count`, stopping
+  // early when fn returns false. Returns the number of fn invocations.
+  size_t Scan(std::string_view start, size_t count, const ScanFn& fn);
+
+  uint64_t MemoryBytes() const;
+  size_t size() const { return item_count_.load(std::memory_order_relaxed); }
+  WormholeStats stats() const;
+  const Options& options() const { return opt_; }
+
+  // --- building blocks used by the thread-safe wrapper ---
+
+  // The unique leaf with anchor <= key < next-anchor. Only reads the trie.
+  Leaf* FindLeaf(std::string_view key);
+
+  bool LeafGet(Leaf* leaf, std::string_view key, std::string* value);
+
+  enum class LeafPut { kUpdated, kInserted, kNeedsSplit };
+  // Updates in place, or inserts if the leaf has room; never splits.
+  LeafPut LeafTryPut(Leaf* leaf, std::string_view key, std::string_view value);
+
+  enum class LeafDelete { kNotFound, kDeleted, kNeedsMerge };
+  // Erases unless that would empty a non-head leaf (a structural change).
+  LeafDelete LeafTryDelete(Leaf* leaf, std::string_view key);
+
+  // Scans one leaf (items >= start), returns fn invocations, sets *stopped
+  // when fn returned false.
+  size_t ScanLeaf(Leaf* leaf, std::string_view start, size_t limit, const ScanFn& fn,
+                  bool* stopped);
+
+ private:
+  struct Node;
+  struct Entry {
+    uint32_t hash;  // full prefix hash; tag = hash >> 16
+    Node* node;
+  };
+  using Bucket = std::vector<Entry>;
+
+  Node* LookupNode(uint32_t hash, std::string_view prefix) const;
+  // Node for prefix+extra (the child-descent step, avoiding concatenation).
+  Node* LookupChild(uint32_t hash, std::string_view prefix, char extra) const;
+  void InsertEntry(uint32_t hash, Node* node);
+  void RemoveEntry(uint32_t hash, Node* node);
+  void MaybeGrowTable();
+
+  // Longest prefix of `key` present in the trie; *state_out receives the raw
+  // CRC32C state of that prefix.
+  Node* Lpm(std::string_view key, uint32_t* state_out);
+
+  int FindSlot(Leaf* leaf, std::string_view key) const;
+  void InsertIntoLeaf(Leaf* leaf, std::string_view key, std::string_view value);
+  void EraseFromLeaf(Leaf* leaf, uint16_t id);
+  void RebuildLeafIndexes(Leaf* leaf);
+
+  void SplitLeaf(Leaf* leaf);
+  void InsertAnchor(const std::string& anchor, Leaf* leaf);
+  void RemoveLeaf(Leaf* leaf);
+
+  Options opt_;
+  std::vector<Bucket> buckets_;
+  size_t bucket_mask_ = 0;
+  size_t node_count_ = 0;
+  Leaf* head_ = nullptr;
+  Node* root_ = nullptr;
+  size_t max_anchor_len_ = 0;
+  std::atomic<size_t> item_count_{0};
+  mutable std::atomic<uint64_t> probes_{0};
+  mutable std::atomic<uint64_t> lookups_{0};
+};
+
+// Thread-safe Wormhole: concurrent readers always, concurrent writers via
+// striped per-leaf locks; structural changes serialize on the global mutex.
+class Wormhole {
+ public:
+  Wormhole() = default;
+  explicit Wormhole(const Options& opt) : core_(opt) {}
+
+  bool Get(std::string_view key, std::string* value);
+  void Put(std::string_view key, std::string_view value);
+  bool Delete(std::string_view key);
+  size_t Scan(std::string_view start, size_t count, const ScanFn& fn);
+
+  uint64_t MemoryBytes() const;
+  size_t size() const { return core_.size(); }
+  WormholeStats stats() const { return core_.stats(); }
+
+ private:
+  static constexpr size_t kStripes = 64;
+
+  std::shared_mutex& StripeFor(const void* leaf) const {
+    return stripes_[(reinterpret_cast<uintptr_t>(leaf) >> 6) % kStripes];
+  }
+
+  WormholeUnsafe core_;
+  mutable std::shared_mutex mu_;
+  mutable std::array<std::shared_mutex, kStripes> stripes_;
+};
+
+}  // namespace wh
+
+#endif  // WH_SRC_CORE_WORMHOLE_H_

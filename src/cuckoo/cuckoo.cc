@@ -1,0 +1,153 @@
+#include "src/cuckoo/cuckoo.h"
+
+#include <utility>
+
+#include "src/common/bytes.h"
+#include "src/common/crc32c.h"
+
+namespace wh {
+
+namespace {
+
+uint16_t TagOf(uint32_t hash) {
+  const uint16_t tag = static_cast<uint16_t>(hash >> 16);
+  return tag == 0 ? 1 : tag;  // 0 is reserved so empty slots are unambiguous
+}
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 16;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+CuckooHash::CuckooHash(size_t initial_buckets)
+    : buckets_(RoundUpPow2(initial_buckets)), rng_(0xc0c0a5e5u) {}
+
+CuckooHash::Slot* CuckooHash::FindSlot(std::string_view key, uint32_t hash) {
+  const uint16_t tag = TagOf(hash);
+  const size_t i1 = IndexOf(hash);
+  const size_t i2 = AltIndex(i1, tag);
+  for (const size_t idx : {i1, i2}) {
+    for (Slot& s : buckets_[idx].slots) {
+      if (s.used && s.tag == tag && s.key == key) {
+        return &s;
+      }
+    }
+  }
+  return nullptr;
+}
+
+bool CuckooHash::Get(std::string_view key, std::string* value) {
+  Slot* s = FindSlot(key, Crc32c(key.data(), key.size()));
+  if (s == nullptr) {
+    return false;
+  }
+  if (value != nullptr) {
+    value->assign(s->value);
+  }
+  return true;
+}
+
+void CuckooHash::Insert(std::string_view key, std::string_view value,
+                        uint16_t tag, size_t i1, size_t i2) {
+  for (const size_t idx : {i1, i2}) {
+    for (Slot& s : buckets_[idx].slots) {
+      if (!s.used) {
+        s.used = true;
+        s.tag = tag;
+        s.key.assign(key);
+        s.value.assign(value);
+        return;
+      }
+    }
+  }
+  // Both buckets full: greedy eviction random-walk from i1.
+  std::string k(key);
+  std::string v(value);
+  uint16_t t = tag;
+  size_t idx = i1;
+  for (int kick = 0; kick < kMaxKicks; kick++) {
+    Slot& victim =
+        buckets_[idx].slots[rng_.NextBounded(kSlotsPerBucket)];
+    std::swap(k, victim.key);
+    std::swap(v, victim.value);
+    std::swap(t, victim.tag);
+    idx = AltIndex(idx, t);
+    for (Slot& s : buckets_[idx].slots) {
+      if (!s.used) {
+        s.used = true;
+        s.tag = t;
+        s.key = std::move(k);
+        s.value = std::move(v);
+        return;
+      }
+    }
+  }
+  // Kicks exhausted: grow and re-place the orphaned item.
+  Grow();
+  const uint32_t h = Crc32c(k.data(), k.size());
+  const size_t n1 = IndexOf(h);
+  Insert(k, v, TagOf(h), n1, AltIndex(n1, TagOf(h)));
+}
+
+void CuckooHash::Put(std::string_view key, std::string_view value) {
+  const uint32_t hash = Crc32c(key.data(), key.size());
+  Slot* s = FindSlot(key, hash);
+  if (s != nullptr) {
+    s->value.assign(value);
+    return;
+  }
+  const uint16_t tag = TagOf(hash);
+  const size_t i1 = IndexOf(hash);
+  Insert(key, value, tag, i1, AltIndex(i1, tag));
+  count_++;
+}
+
+bool CuckooHash::Delete(std::string_view key) {
+  Slot* s = FindSlot(key, Crc32c(key.data(), key.size()));
+  if (s == nullptr) {
+    return false;
+  }
+  s->used = false;
+  s->tag = 0;
+  s->key.clear();
+  s->key.shrink_to_fit();
+  s->value.clear();
+  s->value.shrink_to_fit();
+  count_--;
+  return true;
+}
+
+void CuckooHash::Grow() {
+  std::vector<Bucket> old = std::move(buckets_);
+  buckets_.assign(old.size() * 2, Bucket());
+  for (Bucket& b : old) {
+    for (Slot& s : b.slots) {
+      if (!s.used) {
+        continue;
+      }
+      const uint32_t h = Crc32c(s.key.data(), s.key.size());
+      const uint16_t tag = TagOf(h);
+      const size_t i1 = IndexOf(h);
+      // Re-inserting into a table twice the size; eviction chains during a
+      // rebuild are possible but resolve (Insert grows again if needed).
+      Insert(s.key, s.value, tag, i1, AltIndex(i1, tag));
+    }
+  }
+}
+
+uint64_t CuckooHash::MemoryBytes() const {
+  uint64_t total = sizeof(*this) + buckets_.capacity() * sizeof(Bucket);
+  for (const Bucket& b : buckets_) {
+    for (const Slot& s : b.slots) {
+      total += StrHeapBytes(s.key) + StrHeapBytes(s.value);
+    }
+  }
+  return total;
+}
+
+}  // namespace wh

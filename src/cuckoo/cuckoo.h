@@ -1,0 +1,64 @@
+// Bucketized cuckoo hash table (MemC3-style): two candidate buckets of four
+// slots each, partial-key tags for cheap slot filtering, greedy eviction with
+// a kick limit, and doubling on failure. The paper's unordered upper bound for
+// point lookups — no range scans by design. Single-writer only.
+#ifndef WH_SRC_CUCKOO_CUCKOO_H_
+#define WH_SRC_CUCKOO_CUCKOO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace wh {
+
+class CuckooHash {
+ public:
+  explicit CuckooHash(size_t initial_buckets);
+  CuckooHash(const CuckooHash&) = delete;
+  CuckooHash& operator=(const CuckooHash&) = delete;
+
+  bool Get(std::string_view key, std::string* value);
+  void Put(std::string_view key, std::string_view value);
+  bool Delete(std::string_view key);
+  uint64_t MemoryBytes() const;
+  size_t size() const { return count_; }
+
+ private:
+  static constexpr int kSlotsPerBucket = 4;
+  static constexpr int kMaxKicks = 256;
+
+  struct Slot {
+    bool used = false;
+    uint16_t tag = 0;
+    std::string key;
+    std::string value;
+  };
+  struct Bucket {
+    Slot slots[kSlotsPerBucket];
+  };
+
+  size_t IndexOf(uint32_t hash) const { return hash & (buckets_.size() - 1); }
+  size_t AltIndex(size_t index, uint16_t tag) const {
+    // Partial-key alternate bucket: index ^ H(tag), recomputable from either
+    // bucket without the full key.
+    return (index ^ (static_cast<size_t>(tag) * 0x5bd1e995u)) &
+           (buckets_.size() - 1);
+  }
+  Slot* FindSlot(std::string_view key, uint32_t hash);
+  // Places a new entry, evicting (and on kick exhaustion growing) as needed;
+  // always succeeds.
+  void Insert(std::string_view key, std::string_view value, uint16_t tag,
+              size_t i1, size_t i2);
+  void Grow();
+
+  std::vector<Bucket> buckets_;
+  size_t count_ = 0;
+  Rng rng_;
+};
+
+}  // namespace wh
+
+#endif  // WH_SRC_CUCKOO_CUCKOO_H_

@@ -1,0 +1,158 @@
+#include "src/masstree/masstree.h"
+
+#include <mutex>
+
+#include "src/common/bytes.h"
+
+namespace wh {
+
+bool Masstree::Get(std::string_view key, std::string* value) {
+  std::shared_lock<std::shared_mutex> g(mu_);
+  const Layer* layer = &root_;
+  std::string_view rest = key;
+  while (true) {
+    if (rest.size() <= kSliceLen) {
+      auto it = layer->entries.find(rest);
+      if (it == layer->entries.end() || !it->second.has_value) {
+        return false;
+      }
+      if (value != nullptr) {
+        value->assign(it->second.value);
+      }
+      return true;
+    }
+    auto it = layer->entries.find(rest.substr(0, kSliceLen));
+    if (it == layer->entries.end() || !it->second.next) {
+      return false;
+    }
+    layer = it->second.next.get();
+    rest.remove_prefix(kSliceLen);
+  }
+}
+
+void Masstree::Put(std::string_view key, std::string_view value) {
+  std::unique_lock<std::shared_mutex> g(mu_);
+  Layer* layer = &root_;
+  std::string_view rest = key;
+  while (rest.size() > kSliceLen) {
+    LayerEntry& e = layer->entries[std::string(rest.substr(0, kSliceLen))];
+    if (!e.next) {
+      e.next = std::make_unique<Layer>();
+    }
+    layer = e.next.get();
+    rest.remove_prefix(kSliceLen);
+  }
+  LayerEntry& e = layer->entries[std::string(rest)];
+  e.has_value = true;
+  e.value.assign(value);
+}
+
+bool Masstree::DeleteRec(Layer* layer, std::string_view rest) {
+  if (rest.size() <= kSliceLen) {
+    auto it = layer->entries.find(rest);
+    if (it == layer->entries.end() || !it->second.has_value) {
+      return false;
+    }
+    it->second.has_value = false;
+    it->second.value.clear();
+    if (!it->second.next) {
+      layer->entries.erase(it);
+    }
+    return true;
+  }
+  auto it = layer->entries.find(rest.substr(0, kSliceLen));
+  if (it == layer->entries.end() || !it->second.next) {
+    return false;
+  }
+  if (!DeleteRec(it->second.next.get(), rest.substr(kSliceLen))) {
+    return false;
+  }
+  if (it->second.next->entries.empty()) {
+    it->second.next.reset();
+    if (!it->second.has_value) {
+      layer->entries.erase(it);
+    }
+  }
+  return true;
+}
+
+bool Masstree::Delete(std::string_view key) {
+  std::unique_lock<std::shared_mutex> g(mu_);
+  return DeleteRec(&root_, key);
+}
+
+void Masstree::ScanLayer(const Layer* layer, std::string* acc, bool free,
+                         ScanCtx& ctx) {
+  const size_t d = acc->size();
+  auto it = layer->entries.begin();
+  if (!free) {
+    if (d >= ctx.start.size()) {
+      // The path already equals the whole start key; everything below extends
+      // it and so sorts at or after it.
+      free = true;
+    } else {
+      it = layer->entries.lower_bound(ctx.start.substr(d, kSliceLen));
+    }
+  }
+  for (; it != layer->entries.end(); ++it) {
+    if (ctx.stopped || ctx.emitted >= ctx.limit) {
+      return;
+    }
+    const std::string& slice = it->first;
+    const LayerEntry& e = it->second;
+    bool geq = true;      // acc+slice >= start
+    bool on_path = false;  // slice is a proper prefix of the remaining start
+    if (!free) {
+      // acc == start[0..d), so only the slice / remaining-start order matters.
+      const std::string_view remaining = ctx.start.substr(d);
+      const std::string_view sv(slice);
+      geq = sv >= remaining;
+      on_path = !geq && remaining.size() > sv.size() &&
+                remaining.substr(0, sv.size()) == sv;
+    }
+    const size_t old_len = acc->size();
+    acc->append(slice);
+    if (e.has_value && geq) {
+      ctx.emitted++;
+      if (!ctx.fn(*acc, e.value)) {
+        ctx.stopped = true;
+      }
+    }
+    if (!ctx.stopped && ctx.emitted < ctx.limit && e.next && (geq || on_path)) {
+      // Once acc+slice >= start, every deeper key extends it and stays >= start.
+      ScanLayer(e.next.get(), acc, geq, ctx);
+    }
+    acc->resize(old_len);
+  }
+}
+
+size_t Masstree::Scan(std::string_view start, size_t count, const ScanFn& fn) {
+  std::shared_lock<std::shared_mutex> g(mu_);
+  if (count == 0) {
+    return 0;
+  }
+  ScanCtx ctx{start, fn, count};
+  std::string acc;
+  ScanLayer(&root_, &acc, false, ctx);
+  return ctx.emitted;
+}
+
+uint64_t Masstree::LayerBytes(const Layer* layer) {
+  // ~48 bytes of red-black tree node overhead per entry (libstdc++ _Rb_tree).
+  uint64_t total = sizeof(Layer) + layer->entries.size() * 48;
+  for (const auto& [slice, e] : layer->entries) {
+    total += sizeof(std::string) + StrHeapBytes(slice);
+    total += sizeof(LayerEntry) + StrHeapBytes(e.value);
+    if (e.next) {
+      total += LayerBytes(e.next.get());
+    }
+  }
+  return total;
+}
+
+uint64_t Masstree::MemoryBytes() const {
+  std::shared_lock<std::shared_mutex> g(mu_);
+  return sizeof(*this) + LayerBytes(&root_);
+}
+
+}  // namespace wh

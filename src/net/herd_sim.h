@@ -1,0 +1,85 @@
+// HERD-style networked KV store simulation (Fig. 12). Clients submit batches
+// of point lookups; the server answers from the wrapped index, and every
+// request/response is charged against a shared serial-link model (a token
+// bucket expressed as a "link busy until" timestamp). With a 100 Gb/s link the
+// index is the bottleneck for short keys and the wire for 1 KB keys,
+// reproducing the paper's crossover.
+#ifndef WH_SRC_NET_HERD_SIM_H_
+#define WH_SRC_NET_HERD_SIM_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace wh {
+
+struct HerdConfig {
+  size_t batch_size = 800;
+  double link_gbps = 100.0;
+  // Per-message wire overhead approximating UD send/recv headers + GRH.
+  size_t request_header_bytes = 40;
+  size_t response_header_bytes = 40;
+  size_t value_bytes = 8;
+};
+
+template <typename Index>
+class HerdStore {
+ public:
+  HerdStore(Index* index, const HerdConfig& config)
+      : index_(index),
+        config_(config),
+        bytes_per_sec_(config.link_gbps * 1e9 / 8.0),
+        link_free_at_(Clock::now()) {}
+
+  const HerdConfig& config() const { return config_; }
+
+  // Executes one client batch; blocks until the modeled link has carried the
+  // batch's bytes. Returns the number of hits.
+  size_t LookupBatch(const std::vector<const std::string*>& batch) {
+    std::string value;
+    size_t hits = 0;
+    uint64_t wire_bytes = 0;
+    for (const std::string* key : batch) {
+      if (index_->Get(*key, &value)) {
+        hits++;
+        wire_bytes += config_.value_bytes;
+      }
+      wire_bytes += key->size() + config_.request_header_bytes +
+                    config_.response_header_bytes;
+    }
+    Charge(wire_bytes);
+    return hits;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void Charge(uint64_t bytes) {
+    const auto cost = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(static_cast<double>(bytes) / bytes_per_sec_));
+    Clock::time_point wait_until;
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      const auto now = Clock::now();
+      if (link_free_at_ < now) {
+        link_free_at_ = now;  // idle link: no queueing delay accrued
+      }
+      link_free_at_ += cost;
+      wait_until = link_free_at_;
+    }
+    std::this_thread::sleep_until(wait_until);
+  }
+
+  Index* index_;
+  HerdConfig config_;
+  double bytes_per_sec_;
+  std::mutex mu_;
+  Clock::time_point link_free_at_;
+};
+
+}  // namespace wh
+
+#endif  // WH_SRC_NET_HERD_SIM_H_

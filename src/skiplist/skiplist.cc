@@ -1,0 +1,119 @@
+#include "src/skiplist/skiplist.h"
+
+#include "src/common/bytes.h"
+
+namespace wh {
+
+SkipList::SkipList() : rng_(0x5b1ce9a7u) {
+  head_ = new SkipNode;
+  head_->next.assign(kMaxHeight, nullptr);
+}
+
+SkipList::~SkipList() {
+  SkipNode* n = head_;
+  while (n != nullptr) {
+    SkipNode* next = n->next[0];
+    delete n;
+    n = next;
+  }
+}
+
+int SkipList::RandomHeight() {
+  int h = 1;
+  while (h < kMaxHeight && rng_.NextBounded(4) == 0) {
+    h++;
+  }
+  return h;
+}
+
+SkipList::SkipNode* SkipList::FindGreaterOrEqual(std::string_view key,
+                                                 SkipNode** prev) const {
+  SkipNode* node = head_;
+  for (int level = height_ - 1; level >= 0; level--) {
+    while (node->next[level] != nullptr && node->next[level]->key < key) {
+      node = node->next[level];
+    }
+    if (prev != nullptr) {
+      prev[level] = node;
+    }
+  }
+  return node->next[0];
+}
+
+bool SkipList::Get(std::string_view key, std::string* value) {
+  SkipNode* n = FindGreaterOrEqual(key, nullptr);
+  if (n == nullptr || n->key != key) {
+    return false;
+  }
+  if (value != nullptr) {
+    value->assign(n->value);
+  }
+  return true;
+}
+
+void SkipList::Put(std::string_view key, std::string_view value) {
+  SkipNode* prev[kMaxHeight];
+  for (int i = 0; i < kMaxHeight; i++) {
+    prev[i] = head_;
+  }
+  SkipNode* n = FindGreaterOrEqual(key, prev);
+  if (n != nullptr && n->key == key) {
+    n->value.assign(value);
+    return;
+  }
+  const int h = RandomHeight();
+  if (h > height_) {
+    height_ = h;
+  }
+  SkipNode* node = new SkipNode;
+  node->key.assign(key);
+  node->value.assign(value);
+  node->next.resize(static_cast<size_t>(h));
+  for (int level = 0; level < h; level++) {
+    node->next[level] = prev[level]->next[level];
+    prev[level]->next[level] = node;
+  }
+  node_count_++;
+}
+
+bool SkipList::Delete(std::string_view key) {
+  SkipNode* prev[kMaxHeight];
+  for (int i = 0; i < kMaxHeight; i++) {
+    prev[i] = head_;
+  }
+  SkipNode* n = FindGreaterOrEqual(key, prev);
+  if (n == nullptr || n->key != key) {
+    return false;
+  }
+  for (size_t level = 0; level < n->next.size(); level++) {
+    if (prev[level]->next[level] == n) {
+      prev[level]->next[level] = n->next[level];
+    }
+  }
+  delete n;
+  node_count_--;
+  return true;
+}
+
+size_t SkipList::Scan(std::string_view start, size_t count, const ScanFn& fn) {
+  size_t emitted = 0;
+  for (SkipNode* n = FindGreaterOrEqual(start, nullptr);
+       n != nullptr && emitted < count; n = n->next[0]) {
+    emitted++;
+    if (!fn(n->key, n->value)) {
+      break;
+    }
+  }
+  return emitted;
+}
+
+uint64_t SkipList::MemoryBytes() const {
+  uint64_t total = sizeof(*this);
+  for (const SkipNode* n = head_; n != nullptr; n = n->next[0]) {
+    total += sizeof(SkipNode) + n->next.capacity() * sizeof(SkipNode*);
+    total += StrHeapBytes(n->key) + StrHeapBytes(n->value);
+  }
+  return total;
+}
+
+}  // namespace wh

@@ -1,0 +1,50 @@
+// Textbook randomized skip list over string keys (the paper's ordered-index
+// baseline with O(log N) pointer-chasing lookups). Single-writer only.
+#ifndef WH_SRC_SKIPLIST_SKIPLIST_H_
+#define WH_SRC_SKIPLIST_SKIPLIST_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/scan.h"
+
+namespace wh {
+
+class SkipList {
+ public:
+  SkipList();
+  ~SkipList();
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  bool Get(std::string_view key, std::string* value);
+  void Put(std::string_view key, std::string_view value);
+  bool Delete(std::string_view key);
+  size_t Scan(std::string_view start, size_t count, const ScanFn& fn);
+  uint64_t MemoryBytes() const;
+
+ private:
+  static constexpr int kMaxHeight = 16;
+
+  struct SkipNode {
+    std::string key;
+    std::string value;
+    std::vector<SkipNode*> next;  // one forward pointer per level
+  };
+
+  int RandomHeight();
+  // Fills prev[0..kMaxHeight) with the rightmost node < key at each level.
+  SkipNode* FindGreaterOrEqual(std::string_view key, SkipNode** prev) const;
+
+  SkipNode* head_;
+  int height_ = 1;
+  Rng rng_;
+  uint64_t node_count_ = 0;
+};
+
+}  // namespace wh
+
+#endif  // WH_SRC_SKIPLIST_SKIPLIST_H_

@@ -1,0 +1,205 @@
+#include "src/workload/keysets.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "src/common/rng.h"
+
+namespace wh {
+namespace {
+
+constexpr char kBase62[] =
+    "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
+
+struct KeysetInfo {
+  const char* name;
+  double paper_millions;  // count at paper scale
+  double avg_len;         // documented Table 1 average length (bytes)
+};
+
+// paper_millions values are chosen so count * (avg_len + 8-byte pointer)
+// reproduces the paper's reported dataset gigabytes (see bench/table1_keysets).
+const KeysetInfo kInfo[] = {
+    {"Az1", 198.0, 33.0},    // 8.5 GB
+    {"Az2", 198.0, 33.0},    // 8.5 GB
+    {"URL", 231.0, 78.6},    // 20.0 GB
+    {"K3", 700.0, 8.0},      // 11.2 GB
+    {"K4", 371.0, 16.0},     // 8.9 GB
+    {"K6", 124.0, 64.0},     // 8.9 GB
+    {"K8", 38.3, 256.0},     // 10.1 GB
+    {"K10", 9.4, 1024.0},    // 9.7 GB
+};
+
+const KeysetInfo& Info(KeysetId id) { return kInfo[static_cast<int>(id)]; }
+
+void AppendBase62(Rng& rng, size_t n, std::string* out) {
+  for (size_t i = 0; i < n; i++) {
+    out->push_back(kBase62[rng.NextBounded(62)]);
+  }
+}
+
+void AppendDigits(Rng& rng, size_t n, std::string* out) {
+  for (size_t i = 0; i < n; i++) {
+    out->push_back(kBase62[rng.NextBounded(10)]);
+  }
+}
+
+// Pronounceable word of the given length, for URL hosts/paths.
+void AppendWord(Rng& rng, size_t n, std::string* out) {
+  constexpr char kCons[] = "bcdfghjklmnpqrstvwxz";
+  constexpr char kVowel[] = "aeiouy";
+  for (size_t i = 0; i < n; i++) {
+    if (i % 2 == 0) {
+      out->push_back(kCons[rng.NextBounded(sizeof(kCons) - 1)]);
+    } else {
+      out->push_back(kVowel[rng.NextBounded(sizeof(kVowel) - 1)]);
+    }
+  }
+}
+
+// Az keys: composite "item-user-time" (Az1) or "user-item-time" (Az2)
+// metadata keys, as produced by secondary indexes over review datasets.
+std::string MakeAzKey(Rng& rng, bool item_first) {
+  std::string key;
+  key.reserve(34);
+  std::string item, user;
+  item.push_back('I');
+  AppendBase62(rng, 10, &item);
+  user.push_back('U');
+  AppendBase62(rng, 8, &user);
+  key.append(item_first ? item : user);
+  key.push_back('-');
+  key.append(item_first ? user : item);
+  key.append("-T");
+  AppendDigits(rng, 10, &key);
+  return key;  // 1+10+1+1+8+2+10 = 33 bytes
+}
+
+// Memetracker-style URL: scheme + host + path segments (+ optional query id).
+std::string MakeUrlKey(Rng& rng) {
+  std::string key;
+  key.reserve(96);
+  key.append("http://");
+  if (rng.NextBounded(2) == 0) {
+    key.append("www.");
+  }
+  AppendWord(rng, 6 + rng.NextBounded(9), &key);
+  constexpr const char* kTlds[] = {".com", ".org", ".net", ".info", ".co.uk"};
+  key.append(kTlds[rng.NextBounded(5)]);
+  const uint64_t segments = 3 + rng.NextBounded(3);
+  for (uint64_t s = 0; s < segments; s++) {
+    key.push_back('/');
+    AppendWord(rng, 6 + rng.NextBounded(10), &key);
+  }
+  if (rng.NextBounded(2) == 0) {
+    key.append("?id=");
+    AppendDigits(rng, 9, &key);
+  } else {
+    key.append(".html");
+  }
+  return key;
+}
+
+std::string MakeFixedKey(Rng& rng, size_t len, bool zero_filled_prefix) {
+  std::string key;
+  key.reserve(len);
+  if (zero_filled_prefix) {
+    const size_t tail = len < 4 ? len : 4;
+    key.append(len - tail, '0');
+    AppendBase62(rng, tail, &key);
+  } else {
+    AppendBase62(rng, len, &key);
+  }
+  return key;
+}
+
+size_t FixedLen(KeysetId id) {
+  // K3..K10 encode the length as 2^n bytes.
+  switch (id) {
+    case KeysetId::kK3: return 8;
+    case KeysetId::kK4: return 16;
+    case KeysetId::kK6: return 64;
+    case KeysetId::kK8: return 256;
+    case KeysetId::kK10: return 1024;
+    default: return 0;
+  }
+}
+
+template <typename MakeKey>
+std::vector<std::string> GenerateUnique(size_t count, const MakeKey& make_key) {
+  std::vector<std::string> keys;
+  keys.reserve(count);
+  std::unordered_set<std::string> seen;
+  seen.reserve(count * 2);
+  while (keys.size() < count) {
+    std::string key = make_key();
+    if (seen.insert(key).second) {
+      keys.push_back(std::move(key));
+    }
+    // Duplicate candidates are simply re-rolled; the generator sequence is a
+    // pure function of the seed, so the output stays deterministic.
+  }
+  return keys;
+}
+
+}  // namespace
+
+const char* KeysetName(KeysetId id) { return Info(id).name; }
+
+double KeysetPaperMillions(KeysetId id) { return Info(id).paper_millions; }
+
+double KeysetTable1AvgLen(KeysetId id) { return Info(id).avg_len; }
+
+size_t ScaledCount(KeysetId id, double scale) {
+  // K3 (the largest keyset, 700M keys at paper scale) maps to 2M at scale 1.0.
+  const double base = Info(id).paper_millions * 1e6 / 350.0;
+  const double scaled = base * scale;
+  return scaled < 1000.0 ? 1000 : static_cast<size_t>(std::llround(scaled));
+}
+
+std::vector<std::string> GenerateKeyset(const KeysetSpec& spec) {
+  uint64_t mix = spec.seed * 0x9e3779b97f4a7c15ull +
+                 static_cast<uint64_t>(spec.id) * 0xda942042e4dd58b5ull + 1;
+  Rng rng(SplitMix64(mix));
+  switch (spec.id) {
+    case KeysetId::kAz1:
+      return GenerateUnique(spec.count, [&] { return MakeAzKey(rng, true); });
+    case KeysetId::kAz2:
+      return GenerateUnique(spec.count, [&] { return MakeAzKey(rng, false); });
+    case KeysetId::kUrl:
+      return GenerateUnique(spec.count, [&] { return MakeUrlKey(rng); });
+    default:
+      return GenerateUnique(spec.count, [&] {
+        return MakeFixedKey(rng, FixedLen(spec.id), /*zero_filled_prefix=*/false);
+      });
+  }
+}
+
+std::vector<std::string> GenerateFixedLenKeyset(size_t count, size_t len,
+                                                bool zero_filled_prefix,
+                                                uint64_t seed) {
+  // The '0'-filled tail keeps only 62^min(len,4) distinct keys per length; cap
+  // the request instead of spinning forever on re-rolls.
+  if (zero_filled_prefix) {
+    const size_t tail = len < 4 ? len : 4;
+    double cap = 0.5;
+    for (size_t i = 0; i < tail; i++) {
+      cap *= 62.0;
+    }
+    if (static_cast<double>(count) > cap) {
+      std::fprintf(stderr,
+                   "GenerateFixedLenKeyset: zero-filled len=%zu supports only "
+                   "%.0f unique keys; truncating request of %zu\n",
+                   len, cap, count);
+      count = static_cast<size_t>(cap);
+    }
+  }
+  uint64_t mix = seed * 0x9e3779b97f4a7c15ull + len * 0x2545f4914f6cdd1dull + 2;
+  Rng rng(SplitMix64(mix));
+  return GenerateUnique(count,
+                        [&] { return MakeFixedKey(rng, len, zero_filled_prefix); });
+}
+
+}  // namespace wh

@@ -1,0 +1,70 @@
+// Deterministic keyset generation modeled on the paper's Table 1: two
+// Amazon-review-style metadata keysets (item-user-time / user-item-time), a
+// Memetracker-style URL keyset, and five fixed-length random keysets K3..K10
+// (length 2^n bytes: 8, 16, 64, 256, 1024).
+//
+// Generation is fully deterministic: the same (KeysetId, count, seed) yields
+// byte-identical keys across calls, processes, and platforms, and every keyset
+// is duplicate-free (collisions are re-rolled during generation).
+#ifndef WH_SRC_WORKLOAD_KEYSETS_H_
+#define WH_SRC_WORKLOAD_KEYSETS_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wh {
+
+enum class KeysetId : int {
+  kAz1 = 0,  // item-user-time composite metadata keys
+  kAz2,      // user-item-time composite metadata keys
+  kUrl,      // URLs with long shared prefixes (http://, common domains)
+  kK3,       // random, 8 B
+  kK4,       // random, 16 B
+  kK6,       // random, 64 B
+  kK8,       // random, 256 B
+  kK10,      // random, 1024 B
+};
+
+inline constexpr std::array<KeysetId, 8> kAllKeysets = {
+    KeysetId::kAz1, KeysetId::kAz2, KeysetId::kUrl, KeysetId::kK3,
+    KeysetId::kK4,  KeysetId::kK6,  KeysetId::kK8,  KeysetId::kK10,
+};
+
+const char* KeysetName(KeysetId id);
+
+// Key count (millions) at the paper's full scale, for Table 1 display.
+double KeysetPaperMillions(KeysetId id);
+
+// Documented average key length in bytes (the repo's Table 1 column). Fixed
+// lengths are exact; Az/URL values are the measured generator averages and the
+// keyset tests assert generation stays within tolerance of them.
+double KeysetTable1AvgLen(KeysetId id);
+
+// Number of keys this harness generates at a given scale factor. scale=1.0
+// caps out at 2M keys (keyset K3); each keyset scales proportionally to its
+// paper-scale count, with a floor of 1000 keys.
+size_t ScaledCount(KeysetId id, double scale);
+
+struct KeysetSpec {
+  KeysetId id;
+  size_t count;
+  uint64_t seed = 1;
+};
+
+std::vector<std::string> GenerateKeyset(const KeysetSpec& spec);
+
+// Fixed-length keyset for the anchor-length experiments (Fig. 14) and
+// microbenchmarks. zero_filled_prefix=false: fully random printable content
+// ("Kshort": anchors stay short). zero_filled_prefix=true: '0'-filled except
+// the last four bytes ("Klong": all keys share a maximal common prefix, so
+// anchor lengths track the key length).
+std::vector<std::string> GenerateFixedLenKeyset(size_t count, size_t len,
+                                                bool zero_filled_prefix,
+                                                uint64_t seed);
+
+}  // namespace wh
+
+#endif  // WH_SRC_WORKLOAD_KEYSETS_H_

@@ -1,0 +1,128 @@
+// Keyset generator properties: determinism (byte-identical across calls and —
+// via golden fingerprints — across processes/builds), uniqueness, documented
+// average key lengths, and scaling behavior.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/crc32c.h"
+#include "src/workload/keysets.h"
+
+namespace wh {
+namespace {
+
+uint32_t Fingerprint(const std::vector<std::string>& keys) {
+  uint32_t state = kCrc32cInit;
+  for (const std::string& k : keys) {
+    const uint32_t len = static_cast<uint32_t>(k.size());
+    state = Crc32cExtend(state, &len, sizeof(len));
+    state = Crc32cExtend(state, k.data(), k.size());
+  }
+  return ~state;
+}
+
+TEST(Keysets, DeterministicAcrossCalls) {
+  for (const KeysetId id : kAllKeysets) {
+    SCOPED_TRACE(KeysetName(id));
+    const KeysetSpec spec{id, 500, 42};
+    const auto a = GenerateKeyset(spec);
+    const auto b = GenerateKeyset(spec);
+    ASSERT_EQ(a, b);
+    // Different seed, different keys.
+    const auto c = GenerateKeyset({id, 500, 43});
+    ASSERT_NE(a, c);
+  }
+}
+
+// Golden fingerprints pin the byte-exact output across processes, compilers,
+// and future refactors. A change here is a format break: if intentional, run
+// this test — the failure output prints the new actual fingerprints — update
+// the table from it, and call the break out in the change description.
+TEST(Keysets, DeterministicAcrossProcesses) {
+  struct Golden {
+    KeysetId id;
+    uint32_t fingerprint;
+  };
+  const Golden goldens[] = {
+      {KeysetId::kAz1, 0x0ed769ceu}, {KeysetId::kAz2, 0xd6492b22u},
+      {KeysetId::kUrl, 0xb9a6a822u}, {KeysetId::kK3, 0xff17bac0u},
+      {KeysetId::kK4, 0x38a4de69u},  {KeysetId::kK6, 0xcabe1bedu},
+      {KeysetId::kK8, 0x26249f32u},  {KeysetId::kK10, 0xa74e6fc6u},
+  };
+  for (const Golden& g : goldens) {
+    SCOPED_TRACE(KeysetName(g.id));
+    EXPECT_EQ(Fingerprint(GenerateKeyset({g.id, 200, 1})), g.fingerprint);
+  }
+}
+
+TEST(Keysets, AllKeysUnique) {
+  for (const KeysetId id : kAllKeysets) {
+    SCOPED_TRACE(KeysetName(id));
+    const auto keys = GenerateKeyset({id, 3000, 5});
+    ASSERT_EQ(keys.size(), 3000u);
+    std::unordered_set<std::string> seen(keys.begin(), keys.end());
+    ASSERT_EQ(seen.size(), keys.size());
+  }
+}
+
+TEST(Keysets, AverageLengthsMatchTable1) {
+  for (const KeysetId id : kAllKeysets) {
+    SCOPED_TRACE(KeysetName(id));
+    const auto keys = GenerateKeyset({id, 2000, 9});
+    double total = 0;
+    for (const auto& k : keys) {
+      total += static_cast<double>(k.size());
+    }
+    const double avg = total / static_cast<double>(keys.size());
+    const double want = KeysetTable1AvgLen(id);
+    const bool fixed_len = id == KeysetId::kK3 || id == KeysetId::kK4 ||
+                           id == KeysetId::kK6 || id == KeysetId::kK8 ||
+                           id == KeysetId::kK10;
+    if (fixed_len) {
+      EXPECT_DOUBLE_EQ(avg, want);
+    } else {
+      EXPECT_NEAR(avg, want, want * 0.15) << "generated avg drifted from Table 1";
+    }
+  }
+}
+
+TEST(Keysets, ScaledCountBehavior) {
+  // K3 is the largest keyset and anchors the scale: 2M keys at scale 1.0.
+  EXPECT_EQ(ScaledCount(KeysetId::kK3, 1.0), 2000000u);
+  for (const KeysetId id : kAllKeysets) {
+    SCOPED_TRACE(KeysetName(id));
+    EXPECT_GE(ScaledCount(id, 1e-9), 1000u);  // floor
+    EXPECT_LE(ScaledCount(id, 0.05), ScaledCount(id, 0.5));
+    EXPECT_LE(ScaledCount(id, 0.5), ScaledCount(id, 1.0));
+    EXPECT_LE(ScaledCount(id, 1.0), 2000000u);
+  }
+}
+
+TEST(Keysets, FixedLenGenerator) {
+  for (const size_t len : {8u, 16u, 64u, 256u}) {
+    SCOPED_TRACE(len);
+    const auto kshort = GenerateFixedLenKeyset(500, len, /*zero_filled_prefix=*/false, 3);
+    const auto klong = GenerateFixedLenKeyset(500, len, /*zero_filled_prefix=*/true, 3);
+    ASSERT_EQ(kshort.size(), 500u);
+    ASSERT_EQ(klong.size(), 500u);
+    std::unordered_set<std::string> seen;
+    for (const auto& k : kshort) {
+      ASSERT_EQ(k.size(), len);
+      seen.insert(k);
+    }
+    for (const auto& k : klong) {
+      ASSERT_EQ(k.size(), len);
+      // '0'-filled except the last four bytes: a maximal shared prefix.
+      ASSERT_EQ(k.substr(0, len - 4), std::string(len - 4, '0'));
+      seen.insert(k);
+    }
+    ASSERT_EQ(seen.size(), 1000u);
+    // Deterministic too.
+    ASSERT_EQ(kshort, GenerateFixedLenKeyset(500, len, false, 3));
+  }
+}
+
+}  // namespace
+}  // namespace wh

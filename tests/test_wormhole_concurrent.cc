@@ -1,0 +1,178 @@
+// Multithreaded smoke test for the thread-safe Wormhole: readers and a scanner
+// run at full speed while writers churn inserts/deletes and force splits.
+// Resident keys are never deleted, so any lost key is a bug; a disjoint
+// namespace is never inserted, so any hit there is a phantom. Runs under ASan
+// via scripts/check.sh (and the build-asan configuration).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/wormhole.h"
+
+namespace wh {
+namespace {
+
+std::string ResidentKey(int i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "res-%06d", i);
+  return buf;
+}
+
+std::string ChurnKey(int tid, uint64_t i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wrk%d-%06llu", tid,
+                static_cast<unsigned long long>(i));
+  return buf;
+}
+
+TEST(WormholeConcurrent, ReadersSeeNoLostOrPhantomKeys) {
+  // Small leaves force frequent splits, the rare structural path.
+  Options opt;
+  opt.leaf_capacity = 16;
+  Wormhole index(opt);
+
+  constexpr int kResident = 8000;
+  constexpr int kChurnRange = 4000;
+  for (int i = 0; i < kResident; i++) {
+    index.Put(ResidentKey(i), "resident");
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> failures{0};
+
+  std::vector<std::thread> threads;
+  // Two writers: churn their own namespace (insert then delete), overwrite
+  // resident keys, but never remove them.
+  for (int tid = 0; tid < 2; tid++) {
+    threads.emplace_back([&, tid] {
+      Rng rng(100 + static_cast<uint64_t>(tid));
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const uint64_t k = rng.NextBounded(kChurnRange);
+        index.Put(ChurnKey(tid, k), "churn");
+        index.Put(ResidentKey(static_cast<int>(rng.NextBounded(kResident))),
+                  "resident");
+        if (i % 2 == 0) {
+          index.Delete(ChurnKey(tid, rng.NextBounded(kChurnRange)));
+        }
+        i++;
+      }
+    });
+  }
+  // Two readers: resident keys must always hit; the "phantom-" namespace,
+  // never inserted, must always miss.
+  for (int tid = 0; tid < 2; tid++) {
+    threads.emplace_back([&, tid] {
+      Rng rng(200 + static_cast<uint64_t>(tid));
+      std::string value;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const int i = static_cast<int>(rng.NextBounded(kResident));
+        if (!index.Get(ResidentKey(i), &value)) {
+          failures.fetch_add(1);
+        }
+        if (index.Get("phantom-" + std::to_string(rng.NextBounded(1000)), &value)) {
+          failures.fetch_add(1);
+        }
+        reads.fetch_add(2, std::memory_order_relaxed);
+      }
+    });
+  }
+  // One scanner: keys must come back in strictly increasing order and only
+  // from known namespaces.
+  threads.emplace_back([&] {
+    Rng rng(300);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::string start = ResidentKey(static_cast<int>(rng.NextBounded(kResident)));
+      std::string prev;
+      bool first = true;
+      index.Scan(start, 200, [&](std::string_view k, std::string_view) {
+        if (first) {
+          if (k < std::string_view(start)) {
+            failures.fetch_add(1);  // inclusive start: nothing before it
+          }
+          first = false;
+        } else if (k <= std::string_view(prev)) {
+          failures.fetch_add(1);  // out of order
+        }
+        if (k.substr(0, 4) != "res-" && k.substr(0, 3) != "wrk") {
+          failures.fetch_add(1);  // phantom key surfaced by scan
+        }
+        prev.assign(k);
+        return true;
+      });
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+  stop.store(true);
+  for (auto& t : threads) {
+    t.join();
+  }
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_GT(reads.load(), 0u);
+
+  // Post-churn integrity: every resident key is still there, values sane.
+  std::string value;
+  for (int i = 0; i < kResident; i++) {
+    ASSERT_TRUE(index.Get(ResidentKey(i), &value)) << ResidentKey(i);
+    ASSERT_EQ(value, "resident");
+  }
+  // And the index still agrees with a single-threaded shadow on churn keys:
+  // every surviving churn key must Get and Delete consistently.
+  for (int tid = 0; tid < 2; tid++) {
+    for (int i = 0; i < kChurnRange; i++) {
+      const std::string k = ChurnKey(tid, static_cast<uint64_t>(i));
+      if (index.Get(k, &value)) {
+        ASSERT_EQ(value, "churn");
+        ASSERT_TRUE(index.Delete(k));
+        ASSERT_FALSE(index.Get(k, &value));
+      }
+    }
+  }
+}
+
+TEST(WormholeConcurrent, ParallelLoadMatchesSerialLoad) {
+  Options opt;
+  opt.leaf_capacity = 32;
+  Wormhole parallel(opt);
+  WormholeUnsafe serial(opt);
+
+  constexpr int kKeys = 20000;
+  for (int i = 0; i < kKeys; i++) {
+    serial.Put(ResidentKey(i), "x");
+  }
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < 4; tid++) {
+    threads.emplace_back([&, tid] {
+      for (int i = tid; i < kKeys; i += 4) {
+        parallel.Put(ResidentKey(i), "x");
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  ASSERT_EQ(parallel.size(), serial.size());
+  // Identical contents in identical order.
+  std::vector<std::string> a;
+  std::vector<std::string> b;
+  parallel.Scan("", kKeys + 1, [&](std::string_view k, std::string_view) {
+    a.emplace_back(k);
+    return true;
+  });
+  serial.Scan("", kKeys + 1, [&](std::string_view k, std::string_view) {
+    b.emplace_back(k);
+    return true;
+  });
+  ASSERT_EQ(a.size(), static_cast<size_t>(kKeys));
+  ASSERT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace wh
