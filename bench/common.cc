@@ -9,6 +9,7 @@
 
 #include "src/art/art.h"
 #include "src/bptree/bptree.h"
+#include "src/common/qsbr.h"
 #include "src/common/rng.h"
 #include "src/common/timing.h"
 #include "src/core/wormhole.h"
@@ -42,8 +43,12 @@ BenchEnv GetBenchEnv() {
   } else if (env.scale > 400.0) {
     env.scale = 400.0;  // paper-scale is ~250; beyond that counts overflow
   }
+  // Zero, negative, NaN, or atof garbage would make RunThroughput divide by a
+  // zero-length window or spin unboundedly; clamp both ends like threads.
   if (!(env.seconds > 0.0)) {
     env.seconds = 0.05;
+  } else if (env.seconds > 600.0) {
+    env.seconds = 600.0;
   }
   return env;
 }
@@ -175,14 +180,30 @@ double RunThroughput(int threads, double seconds,
   pool.reserve(static_cast<size_t>(threads));
   Timer timer;
   for (int t = 0; t < threads; t++) {
-    pool.emplace_back([&, t] { counts[static_cast<size_t>(t)] = worker(t, stop); });
+    pool.emplace_back([&, t] {
+      // Register with QSBR for the thread's lifetime (and unregister on the
+      // way out, so a finished worker never stalls reclamation).
+      QsbrThreadScope qsbr_scope;
+      counts[static_cast<size_t>(t)] = worker(t, stop);
+    });
   }
-  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  // The coordinating thread is QSBR-registered too (it loaded the index), so
+  // it must keep quiescing during the measurement window — otherwise writer
+  // workloads retire leaves all window long and nothing gets reclaimed.
+  while (timer.ElapsedSeconds() < seconds) {
+    const double remaining = seconds - timer.ElapsedSeconds();
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        remaining < 0.01 ? (remaining > 0.0 ? remaining : 0.0) : 0.01));
+    QsbrQuiesce();
+  }
   stop.store(true, std::memory_order_release);
   for (auto& th : pool) {
     th.join();
   }
   const double elapsed = timer.ElapsedSeconds();
+  if (elapsed <= 0.0) {
+    return 0.0;  // defensive: a zero-length window has no meaningful rate
+  }
   uint64_t total = 0;
   for (const uint64_t c : counts) {
     total += c;

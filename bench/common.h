@@ -4,8 +4,8 @@
 // Environment knobs (all benches):
 //   WH_BENCH_SCALE    keyset scale factor (default 0.05; 1.0 ~ 2M keys max;
 //                     the paper's sizes correspond to ~250)
-//   WH_BENCH_THREADS  max thread count (default min(16, hardware))
-//   WH_BENCH_SECONDS  seconds per measured cell (default 0.4)
+//   WH_BENCH_THREADS  max thread count (default min(16, hardware), clamp 1-256)
+//   WH_BENCH_SECONDS  seconds per measured cell (default 0.4, clamp (0, 600])
 #ifndef BENCH_COMMON_H_
 #define BENCH_COMMON_H_
 

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 verify plus an AddressSanitizer pass.
+# Tier-1 verify plus sanitizer passes: AddressSanitizer over everything and
+# ThreadSanitizer over the concurrency-sensitive tests (QSBR + the concurrent
+# Wormhole), which exercise the lock-free lookup / per-leaf-lock write paths.
 #
-#   scripts/check.sh          # release build + full ctest, then ASan build + tests
+#   scripts/check.sh          # release + full ctest, then ASan, then TSan
 #   scripts/check.sh --fast   # release build + unit-labeled tests only
 #
 # ctest labels: "unit" (fast, deterministic) and "smoke" (multithreaded +
@@ -31,5 +33,12 @@ cmake --build build-asan -j "$(nproc)"
 
 echo "=== asan: ctest (unit + concurrent smoke) ==="
 ctest --test-dir build-asan --output-on-failure -R 'test_'
+
+echo "=== tsan: configure + build ==="
+cmake -B build-tsan -S . -DWH_TSAN=ON >/dev/null
+cmake --build build-tsan -j "$(nproc)"
+
+echo "=== tsan: ctest (concurrent tests) ==="
+ctest --test-dir build-tsan --output-on-failure -R 'test_(wormhole_concurrent|qsbr)'
 
 echo "All checks passed."

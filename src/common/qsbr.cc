@@ -1,0 +1,150 @@
+#include "src/common/qsbr.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace wh {
+
+Qsbr::~Qsbr() {
+  // No threads may be inside a read-side critical section at destruction
+  // (static destruction order: the process is single-threaded by now).
+  for (const Retired& r : retired_) {
+    r.deleter(r.p);
+  }
+}
+
+Qsbr& Qsbr::Default() {
+  static Qsbr instance;
+  return instance;
+}
+
+Qsbr::Slot* Qsbr::RegisterThread() {
+  std::lock_guard<std::mutex> g(slots_mu_);
+  for (size_t i = 0; i < kMaxThreads; i++) {
+    Slot& s = slots_[i];
+    if (s.state.load(std::memory_order_relaxed) == kFree) {
+      // Epoch before state: a reclaimer that sees kActive must see a current
+      // epoch, never the previous tenant's stale one.
+      s.epoch.store(global_epoch_.load(std::memory_order_acquire),
+                    std::memory_order_release);
+      s.state.store(kActive, std::memory_order_release);
+      size_t hw = slot_high_water_.load(std::memory_order_relaxed);
+      if (i + 1 > hw) {
+        slot_high_water_.store(i + 1, std::memory_order_release);
+      }
+      return &s;
+    }
+  }
+  std::fprintf(stderr, "qsbr: more than %zu concurrent threads\n", kMaxThreads);
+  std::abort();
+}
+
+void Qsbr::UnregisterThread(Slot* slot) {
+  std::lock_guard<std::mutex> g(slots_mu_);
+  slot->state.store(kFree, std::memory_order_release);
+}
+
+void Qsbr::Retire(void* p, void (*deleter)(void*)) {
+  // fetch_add returns the epoch the retirement belongs to; bumping ensures
+  // later quiescent states are distinguishable from earlier ones. Readers
+  // that observe the new epoch value synchronize with this RMW, so they also
+  // see the unlinking stores that preceded the Retire call.
+  const uint64_t tag = global_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard<std::mutex> g(retire_mu_);
+    retired_.push_back(Retired{p, deleter, tag});
+  }
+  TryReclaim();
+}
+
+size_t Qsbr::TryReclaim() {
+  std::vector<Retired> batch;
+  {
+    // slots_mu_ is held across both the slot scan and the pop: registration
+    // also takes it, so a registering thread either completes first (the scan
+    // sees its slot, whose fresh epoch blocks anything it could reference) or
+    // starts after this critical section (the lock handoff orders the
+    // unlinking of everything popped here before that thread's first
+    // traversal, so it can never reach an object this pass frees). Without
+    // the lock, plain acquire/release ordering would permit the scan to miss
+    // a just-registered thread mid-navigation.
+    std::lock_guard<std::mutex> gs(slots_mu_);
+    // Grace condition: every active slot has quiesced at an epoch > tag.
+    uint64_t min_epoch = UINT64_MAX;
+    const size_t hw = slot_high_water_.load(std::memory_order_acquire);
+    for (size_t i = 0; i < hw; i++) {
+      if (slots_[i].state.load(std::memory_order_acquire) == kActive) {
+        min_epoch =
+            std::min(min_epoch, slots_[i].epoch.load(std::memory_order_acquire));
+      }
+    }
+    // Concurrent retirers can interleave tags slightly out of order; stopping
+    // at the first ineligible entry is merely conservative (it is freed on a
+    // later pass).
+    std::lock_guard<std::mutex> gr(retire_mu_);
+    while (!retired_.empty() && retired_.front().tag < min_epoch) {
+      batch.push_back(retired_.front());
+      retired_.pop_front();
+    }
+  }
+  for (const Retired& r : batch) {  // deleters run outside both locks
+    r.deleter(r.p);
+  }
+  return batch.size();
+}
+
+void Qsbr::Drain() {
+  while (pending() > 0) {
+    if (TryReclaim() == 0) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+size_t Qsbr::pending() const {
+  std::lock_guard<std::mutex> g(retire_mu_);
+  return retired_.size();
+}
+
+namespace {
+
+// One lazy registration with the Default() instance per thread; the
+// destructor runs at thread exit, so a dead thread never blocks grace
+// periods.
+struct TlsRegistration {
+  Qsbr::Slot* slot = nullptr;
+  ~TlsRegistration() {
+    if (slot != nullptr) {
+      Qsbr::Default().UnregisterThread(slot);
+      slot = nullptr;
+    }
+  }
+};
+
+thread_local TlsRegistration tls_registration;
+
+}  // namespace
+
+Qsbr::Slot* QsbrCurrentSlot() {
+  if (tls_registration.slot == nullptr) {
+    tls_registration.slot = Qsbr::Default().RegisterThread();
+  }
+  return tls_registration.slot;
+}
+
+void QsbrQuiesce() { Qsbr::Default().Quiesce(QsbrCurrentSlot()); }
+
+QsbrThreadScope::QsbrThreadScope() { QsbrCurrentSlot(); }
+
+QsbrThreadScope::~QsbrThreadScope() {
+  if (tls_registration.slot != nullptr) {
+    Qsbr::Default().Quiesce(tls_registration.slot);
+    Qsbr::Default().UnregisterThread(tls_registration.slot);
+    tls_registration.slot = nullptr;
+  }
+}
+
+}  // namespace wh

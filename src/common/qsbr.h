@@ -1,0 +1,133 @@
+// Quiescent-state-based reclamation (QSBR), the memory-reclamation scheme the
+// Wormhole paper pairs with per-leaf locking: readers traverse the MetaTrieHT
+// and leaf list without taking any structure-wide lock, so a writer that
+// unlinks a leaf / trie node / bucket array cannot free it immediately — a
+// lock-free reader may still be dereferencing it. Instead the writer *retires*
+// the object here, and it is freed only after a grace period: every registered
+// thread has passed a quiescent state (a moment where it provably holds no
+// references into the structure) after the retirement.
+//
+// Protocol:
+//   - Each participating thread owns a Slot (cache-line sized, so quiescence
+//     reports never contend). Registration is explicit (RegisterThread) or
+//     lazy via the Default()-instance helpers below.
+//   - A thread calls Quiesce() between operations — never while holding a
+//     pointer into a QSBR-protected structure. This is a store to the
+//     thread's own slot plus a read of the (rarely written) global epoch.
+//   - Retire(p, deleter) tags p with the current epoch and advances it.
+//     p must already be unreachable for new readers (unlinked with
+//     release-ordered stores before the Retire call).
+//   - An object with tag T is freed once every active slot's epoch > T, i.e.
+//     every thread has quiesced after the retirement. Freeing happens inside
+//     TryReclaim, called opportunistically from Retire and from Drain.
+//
+// Embedder requirements (see README.md "Concurrency"):
+//   - Threads that touch a QSBR-protected index must quiesce regularly (the
+//     Wormhole class does this internally at the end of every operation). A
+//     registered thread that goes idle without unregistering stalls
+//     reclamation (memory accrues; nothing is freed prematurely).
+//   - Before destroying an index, every other thread must have quiesced or
+//     unregistered; the destructor drains the deferred-free list.
+#ifndef WH_SRC_COMMON_QSBR_H_
+#define WH_SRC_COMMON_QSBR_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+namespace wh {
+
+class Qsbr {
+ public:
+  static constexpr size_t kMaxThreads = 512;
+
+  struct alignas(64) Slot {
+    // Epoch of this thread's most recent quiescent state. Only meaningful
+    // while state == kActive.
+    std::atomic<uint64_t> epoch{0};
+    // kFree -> kActive under slots_mu_ (epoch is set first); kActive -> kFree
+    // on unregistration.
+    std::atomic<uint32_t> state{0};
+  };
+
+  Qsbr() = default;
+  ~Qsbr();
+  Qsbr(const Qsbr&) = delete;
+  Qsbr& operator=(const Qsbr&) = delete;
+
+  // Process-wide instance used by Wormhole and the Default()-bound helpers.
+  static Qsbr& Default();
+
+  // Claims a slot for the calling thread. The slot starts quiescent at the
+  // current epoch (a new thread cannot hold references to already-retired
+  // objects). Aborts if kMaxThreads threads are simultaneously registered.
+  Slot* RegisterThread();
+  // The thread must hold no references into any protected structure.
+  void UnregisterThread(Slot* slot);
+
+  // Reports a quiescent state: the owning thread holds no references.
+  void Quiesce(Slot* slot) {
+    slot->epoch.store(global_epoch_.load(std::memory_order_acquire),
+                      std::memory_order_release);
+  }
+
+  // Defers deleter(p) until all registered threads quiesce. p must already be
+  // unreachable to new readers.
+  void Retire(void* p, void (*deleter)(void*));
+  template <typename T>
+  void Retire(T* p) {
+    Retire(p, [](void* q) { delete static_cast<T*>(q); });
+  }
+
+  // Frees every retired object whose grace period has passed; returns the
+  // number freed. Safe to call from any thread at any time.
+  size_t TryReclaim();
+
+  // Spins until the deferred-free list is empty. Caller contract: all other
+  // registered threads are quiescent (or will quiesce promptly) — otherwise
+  // this blocks until they do.
+  void Drain();
+
+  size_t pending() const;
+  uint64_t epoch() const { return global_epoch_.load(std::memory_order_relaxed); }
+
+ private:
+  static constexpr uint32_t kFree = 0;
+  static constexpr uint32_t kActive = 1;
+
+  struct Retired {
+    void* p;
+    void (*deleter)(void*);
+    uint64_t tag;
+  };
+
+  std::atomic<uint64_t> global_epoch_{1};
+  Slot slots_[kMaxThreads];
+  std::atomic<size_t> slot_high_water_{0};  // scan bound for TryReclaim
+  std::mutex slots_mu_;                     // serializes register/unregister
+
+  mutable std::mutex retire_mu_;
+  std::deque<Retired> retired_;  // tags are near-sorted (concurrent retirers)
+};
+
+// Default()-instance conveniences. The calling thread is registered lazily on
+// first use and unregistered automatically at thread exit.
+Qsbr::Slot* QsbrCurrentSlot();
+void QsbrQuiesce();
+
+// RAII per-thread registration for thread pools / bench workers: registers on
+// construction, quiesces and unregisters on destruction (so a finished worker
+// never stalls reclamation for the rest of the process).
+class QsbrThreadScope {
+ public:
+  QsbrThreadScope();
+  ~QsbrThreadScope();
+  QsbrThreadScope(const QsbrThreadScope&) = delete;
+  QsbrThreadScope& operator=(const QsbrThreadScope&) = delete;
+};
+
+}  // namespace wh
+
+#endif  // WH_SRC_COMMON_QSBR_H_

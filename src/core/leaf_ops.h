@@ -1,0 +1,197 @@
+// Internal: in-leaf item operations shared by WormholeUnsafe and the
+// concurrent Wormhole. Both leaf types expose the same storage layout —
+// `slots` (items at stable positions), `by_key` (slot ids in key order) and
+// `by_hash` (slot ids in (hash, key) order, DirectPos only) — and these
+// helpers assume the caller holds whatever lock protects that leaf.
+#ifndef WH_SRC_CORE_LEAF_OPS_H_
+#define WH_SRC_CORE_LEAF_OPS_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/crc32c.h"
+
+namespace wh {
+namespace leafops {
+
+// Slot id of `key`, or -1.
+template <typename LeafT>
+int FindSlot(const LeafT* leaf, bool direct_pos, std::string_view key) {
+  const auto& slots = leaf->slots;
+  if (direct_pos) {
+    // Binary search by (hash, key): almost always pure 4-byte comparisons.
+    // The full-key hash is only worth computing on this path; without
+    // DirectPos the in-leaf search is hash-free by design (Fig. 11).
+    const uint32_t hash = Crc32cExtend(kCrc32cInit, key.data(), key.size());
+    auto it = std::lower_bound(leaf->by_hash.begin(), leaf->by_hash.end(), key,
+                               [&](uint16_t id, std::string_view k) {
+                                 const auto& item = slots[id];
+                                 if (item.hash != hash) {
+                                   return item.hash < hash;
+                                 }
+                                 return item.key < k;
+                               });
+    if (it != leaf->by_hash.end() && slots[*it].hash == hash &&
+        slots[*it].key == key) {
+      return *it;
+    }
+    return -1;
+  }
+  auto it = std::lower_bound(
+      leaf->by_key.begin(), leaf->by_key.end(), key,
+      [&](uint16_t id, std::string_view k) { return slots[id].key < k; });
+  if (it != leaf->by_key.end() && slots[*it].key == key) {
+    return *it;
+  }
+  return -1;
+}
+
+// Appends a new item and splices its slot id into the ordered indexes.
+template <typename LeafT>
+void Insert(LeafT* leaf, bool direct_pos, std::string_view key,
+            std::string_view value) {
+  const uint32_t hash =
+      direct_pos ? Crc32cExtend(kCrc32cInit, key.data(), key.size()) : 0;
+  const uint16_t id = static_cast<uint16_t>(leaf->slots.size());
+  leaf->slots.push_back({hash, std::string(key), std::string(value)});
+  const auto& slots = leaf->slots;
+  auto kit = std::lower_bound(
+      leaf->by_key.begin(), leaf->by_key.end(), key,
+      [&](uint16_t a, std::string_view k) { return slots[a].key < k; });
+  leaf->by_key.insert(kit, id);
+  if (direct_pos) {
+    auto hit = std::lower_bound(leaf->by_hash.begin(), leaf->by_hash.end(), id,
+                                [&](uint16_t a, uint16_t b) {
+                                  if (slots[a].hash != slots[b].hash) {
+                                    return slots[a].hash < slots[b].hash;
+                                  }
+                                  return slots[a].key < slots[b].key;
+                                });
+    leaf->by_hash.insert(hit, id);
+  }
+}
+
+// Erases slot `id` (swap-with-last in `slots`, linear fixups in the indexes).
+template <typename LeafT>
+void Erase(LeafT* leaf, bool direct_pos, uint16_t id) {
+  const uint16_t last = static_cast<uint16_t>(leaf->slots.size() - 1);
+  // Leaves hold at most leaf_capacity (~128) items: linear index fixups are
+  // cheap and immune to comparator subtleties.
+  auto fixup = [&](std::vector<uint16_t>& index) {
+    size_t erase_pos = index.size();
+    for (size_t i = 0; i < index.size(); i++) {
+      if (index[i] == id) {
+        erase_pos = i;
+      } else if (index[i] == last) {
+        index[i] = id;  // the last slot moves into the erased position
+      }
+    }
+    assert(erase_pos < index.size());
+    index.erase(index.begin() + static_cast<ptrdiff_t>(erase_pos));
+  };
+  fixup(leaf->by_key);
+  if (direct_pos) {
+    fixup(leaf->by_hash);
+  }
+  if (id != last) {
+    leaf->slots[id] = std::move(leaf->slots[last]);
+  }
+  leaf->slots.pop_back();
+}
+
+// Recomputes both ordered indexes from `slots` (after bulk moves in a split).
+template <typename LeafT>
+void RebuildIndexes(LeafT* leaf, bool direct_pos) {
+  const auto& slots = leaf->slots;
+  leaf->by_key.resize(slots.size());
+  for (uint16_t i = 0; i < slots.size(); i++) {
+    leaf->by_key[i] = i;
+  }
+  std::sort(leaf->by_key.begin(), leaf->by_key.end(),
+            [&](uint16_t a, uint16_t b) { return slots[a].key < slots[b].key; });
+  if (direct_pos) {
+    leaf->by_hash = leaf->by_key;
+    std::sort(leaf->by_hash.begin(), leaf->by_hash.end(),
+              [&](uint16_t a, uint16_t b) {
+                if (slots[a].hash != slots[b].hash) {
+                  return slots[a].hash < slots[b].hash;
+                }
+                return slots[a].key < slots[b].key;
+              });
+  }
+}
+
+// Visits items with key > bound (strict) or >= bound, in key order, at most
+// `limit`; records the last visited key in *last (for scan resumption) and
+// sets *stopped when fn returns false. Returns the number of fn invocations.
+template <typename LeafT, typename Fn>
+size_t ScanRange(const LeafT* leaf, std::string_view bound, bool strict,
+                 size_t limit, const Fn& fn, bool* stopped, std::string* last) {
+  const auto& slots = leaf->slots;
+  auto it = std::lower_bound(leaf->by_key.begin(), leaf->by_key.end(), bound,
+                             [&](uint16_t id, std::string_view k) {
+                               return strict ? slots[id].key <= k
+                                             : slots[id].key < k;
+                             });
+  size_t emitted = 0;
+  for (; it != leaf->by_key.end() && emitted < limit; ++it) {
+    const auto& item = slots[*it];
+    emitted++;
+    if (last != nullptr) {
+      last->assign(item.key);
+    }
+    if (!fn(item.key, item.value)) {
+      *stopped = true;
+      break;
+    }
+  }
+  return emitted;
+}
+
+// Shortest prefix of right_min that compares greater than left_max — the new
+// leaf's anchor A, satisfying left_max < A <= right_min. Because left_max <
+// right_min, the first byte where right_min departs from left_max exists
+// within right_min, and cutting just past it yields the separator.
+inline size_t SeparatorLen(const std::string& left_max,
+                           const std::string& right_min) {
+  size_t i = 0;
+  while (i < left_max.size() && left_max[i] == right_min[i]) {
+    i++;
+  }
+  return i + 1;
+}
+
+// Split position for a full leaf's key-ordered items: the midpoint, or with
+// `shortest_anchor` (paper section 6) the position in the middle half whose
+// separator is shortest, ties broken toward the midpoint. The new right
+// leaf's anchor is sorted[si].key truncated to
+// SeparatorLen(sorted[si-1].key, sorted[si].key).
+template <typename ItemVec>
+size_t ChooseSplitIndex(const ItemVec& sorted, bool shortest_anchor) {
+  const size_t n = sorted.size();
+  size_t si = n / 2;
+  if (shortest_anchor) {
+    const size_t lo = std::max<size_t>(1, n / 4);
+    const size_t hi = std::min(n - 1, 3 * n / 4);
+    size_t best_len = SeparatorLen(sorted[si - 1].key, sorted[si].key);
+    for (size_t s = lo; s <= hi; s++) {
+      const size_t len = SeparatorLen(sorted[s - 1].key, sorted[s].key);
+      const auto dist = [&](size_t x) {
+        return x > n / 2 ? x - n / 2 : n / 2 - x;
+      };
+      if (len < best_len || (len == best_len && dist(s) < dist(si))) {
+        best_len = len;
+        si = s;
+      }
+    }
+  }
+  return si;
+}
+
+}  // namespace leafops
+}  // namespace wh
+
+#endif  // WH_SRC_CORE_LEAF_OPS_H_

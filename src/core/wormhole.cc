@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
-#include <mutex>
+#include <shared_mutex>
+#include <thread>
 
 #include "src/common/bytes.h"
 #include "src/common/crc32c.h"
+#include "src/common/qsbr.h"
+#include "src/core/leaf_ops.h"
 
 namespace wh {
 
@@ -17,6 +20,15 @@ uint32_t HashPrefix(std::string_view prefix) {
 }
 
 uint16_t TagOf(uint32_t hash) { return static_cast<uint16_t>(hash >> 16); }
+
+// Registers the calling thread with QSBR before any shared pointer is loaded
+// (so concurrent reclaimers account for it) and reports a quiescent state on
+// the way out of the operation.
+struct QsbrOp {
+  Qsbr::Slot* slot;
+  QsbrOp() : slot(QsbrCurrentSlot()) {}
+  ~QsbrOp() { Qsbr::Default().Quiesce(slot); }
+};
 
 }  // namespace
 
@@ -230,109 +242,11 @@ WormholeUnsafe::Leaf* WormholeUnsafe::FindLeaf(std::string_view key) {
   return child->rmost;
 }
 
-// --- leaf operations -------------------------------------------------------
+// --- public single-threaded API --------------------------------------------
 
-int WormholeUnsafe::FindSlot(Leaf* leaf, std::string_view key) const {
-  const std::vector<Item>& slots = leaf->slots;
-  if (opt_.direct_pos) {
-    // Binary search by (hash, key): almost always pure 4-byte comparisons.
-    // The full-key hash is only worth computing on this path; without
-    // DirectPos the in-leaf search is hash-free by design (Fig. 11).
-    const uint32_t hash = Crc32cExtend(kCrc32cInit, key.data(), key.size());
-    auto it = std::lower_bound(leaf->by_hash.begin(), leaf->by_hash.end(), key,
-                               [&](uint16_t id, std::string_view k) {
-                                 const Item& item = slots[id];
-                                 if (item.hash != hash) {
-                                   return item.hash < hash;
-                                 }
-                                 return item.key < k;
-                               });
-    if (it != leaf->by_hash.end() && slots[*it].hash == hash &&
-        slots[*it].key == key) {
-      return *it;
-    }
-    return -1;
-  }
-  auto it = std::lower_bound(
-      leaf->by_key.begin(), leaf->by_key.end(), key,
-      [&](uint16_t id, std::string_view k) { return slots[id].key < k; });
-  if (it != leaf->by_key.end() && slots[*it].key == key) {
-    return *it;
-  }
-  return -1;
-}
-
-void WormholeUnsafe::InsertIntoLeaf(Leaf* leaf, std::string_view key,
-                                    std::string_view value) {
-  const uint32_t hash =
-      opt_.direct_pos ? Crc32cExtend(kCrc32cInit, key.data(), key.size()) : 0;
-  const uint16_t id = static_cast<uint16_t>(leaf->slots.size());
-  leaf->slots.push_back(Item{hash, std::string(key), std::string(value)});
-  const std::vector<Item>& slots = leaf->slots;
-  auto kit = std::lower_bound(
-      leaf->by_key.begin(), leaf->by_key.end(), key,
-      [&](uint16_t a, std::string_view k) { return slots[a].key < k; });
-  leaf->by_key.insert(kit, id);
-  if (opt_.direct_pos) {
-    auto hit = std::lower_bound(leaf->by_hash.begin(), leaf->by_hash.end(), id,
-                                [&](uint16_t a, uint16_t b) {
-                                  if (slots[a].hash != slots[b].hash) {
-                                    return slots[a].hash < slots[b].hash;
-                                  }
-                                  return slots[a].key < slots[b].key;
-                                });
-    leaf->by_hash.insert(hit, id);
-  }
-}
-
-void WormholeUnsafe::EraseFromLeaf(Leaf* leaf, uint16_t id) {
-  const uint16_t last = static_cast<uint16_t>(leaf->slots.size() - 1);
-  // Leaves hold at most leaf_capacity (~128) items: linear index fixups are
-  // cheap and immune to comparator subtleties.
-  auto fixup = [&](std::vector<uint16_t>& index) {
-    size_t erase_pos = index.size();
-    for (size_t i = 0; i < index.size(); i++) {
-      if (index[i] == id) {
-        erase_pos = i;
-      } else if (index[i] == last) {
-        index[i] = id;  // the last slot moves into the erased position
-      }
-    }
-    assert(erase_pos < index.size());
-    index.erase(index.begin() + static_cast<ptrdiff_t>(erase_pos));
-  };
-  fixup(leaf->by_key);
-  if (opt_.direct_pos) {
-    fixup(leaf->by_hash);
-  }
-  if (id != last) {
-    leaf->slots[id] = std::move(leaf->slots[last]);
-  }
-  leaf->slots.pop_back();
-}
-
-void WormholeUnsafe::RebuildLeafIndexes(Leaf* leaf) {
-  const std::vector<Item>& slots = leaf->slots;
-  leaf->by_key.resize(slots.size());
-  for (uint16_t i = 0; i < slots.size(); i++) {
-    leaf->by_key[i] = i;
-  }
-  std::sort(leaf->by_key.begin(), leaf->by_key.end(),
-            [&](uint16_t a, uint16_t b) { return slots[a].key < slots[b].key; });
-  if (opt_.direct_pos) {
-    leaf->by_hash = leaf->by_key;
-    std::sort(leaf->by_hash.begin(), leaf->by_hash.end(),
-              [&](uint16_t a, uint16_t b) {
-                if (slots[a].hash != slots[b].hash) {
-                  return slots[a].hash < slots[b].hash;
-                }
-                return slots[a].key < slots[b].key;
-              });
-  }
-}
-
-bool WormholeUnsafe::LeafGet(Leaf* leaf, std::string_view key, std::string* value) {
-  const int slot = FindSlot(leaf, key);
+bool WormholeUnsafe::Get(std::string_view key, std::string* value) {
+  Leaf* leaf = FindLeaf(key);
+  const int slot = leafops::FindSlot(leaf, opt_.direct_pos, key);
   if (slot < 0) {
     return false;
   }
@@ -342,67 +256,14 @@ bool WormholeUnsafe::LeafGet(Leaf* leaf, std::string_view key, std::string* valu
   return true;
 }
 
-WormholeUnsafe::LeafPut WormholeUnsafe::LeafTryPut(Leaf* leaf, std::string_view key,
-                                                   std::string_view value) {
-  const int slot = FindSlot(leaf, key);
-  if (slot >= 0) {
-    leaf->slots[static_cast<size_t>(slot)].value.assign(value);
-    return LeafPut::kUpdated;
-  }
-  if (leaf->slots.size() >= opt_.leaf_capacity) {
-    return LeafPut::kNeedsSplit;
-  }
-  InsertIntoLeaf(leaf, key, value);
-  item_count_.fetch_add(1, std::memory_order_relaxed);
-  return LeafPut::kInserted;
-}
-
-WormholeUnsafe::LeafDelete WormholeUnsafe::LeafTryDelete(Leaf* leaf,
-                                                         std::string_view key) {
-  const int slot = FindSlot(leaf, key);
-  if (slot < 0) {
-    return LeafDelete::kNotFound;
-  }
-  if (leaf->slots.size() == 1 && leaf != head_) {
-    return LeafDelete::kNeedsMerge;
-  }
-  EraseFromLeaf(leaf, static_cast<uint16_t>(slot));
-  item_count_.fetch_sub(1, std::memory_order_relaxed);
-  return LeafDelete::kDeleted;
-}
-
-size_t WormholeUnsafe::ScanLeaf(Leaf* leaf, std::string_view start, size_t limit,
-                                const ScanFn& fn, bool* stopped) {
-  const std::vector<Item>& slots = leaf->slots;
-  auto it = std::lower_bound(
-      leaf->by_key.begin(), leaf->by_key.end(), start,
-      [&](uint16_t id, std::string_view k) { return slots[id].key < k; });
-  size_t emitted = 0;
-  for (; it != leaf->by_key.end() && emitted < limit; ++it) {
-    const Item& item = slots[*it];
-    emitted++;
-    if (!fn(item.key, item.value)) {
-      *stopped = true;
-      break;
-    }
-  }
-  return emitted;
-}
-
-// --- public single-threaded API --------------------------------------------
-
-bool WormholeUnsafe::Get(std::string_view key, std::string* value) {
-  return LeafGet(FindLeaf(key), key, value);
-}
-
 void WormholeUnsafe::Put(std::string_view key, std::string_view value) {
   Leaf* leaf = FindLeaf(key);
-  const int slot = FindSlot(leaf, key);
+  const int slot = leafops::FindSlot(leaf, opt_.direct_pos, key);
   if (slot >= 0) {
     leaf->slots[static_cast<size_t>(slot)].value.assign(value);
     return;
   }
-  InsertIntoLeaf(leaf, key, value);
+  leafops::Insert(leaf, opt_.direct_pos, key, value);
   item_count_.fetch_add(1, std::memory_order_relaxed);
   if (leaf->slots.size() > opt_.leaf_capacity) {
     SplitLeaf(leaf);
@@ -411,11 +272,11 @@ void WormholeUnsafe::Put(std::string_view key, std::string_view value) {
 
 bool WormholeUnsafe::Delete(std::string_view key) {
   Leaf* leaf = FindLeaf(key);
-  const int slot = FindSlot(leaf, key);
+  const int slot = leafops::FindSlot(leaf, opt_.direct_pos, key);
   if (slot < 0) {
     return false;
   }
-  EraseFromLeaf(leaf, static_cast<uint16_t>(slot));
+  leafops::Erase(leaf, opt_.direct_pos, static_cast<uint16_t>(slot));
   item_count_.fetch_sub(1, std::memory_order_relaxed);
   if (leaf->slots.empty() && leaf != head_) {
     RemoveLeaf(leaf);
@@ -428,28 +289,13 @@ size_t WormholeUnsafe::Scan(std::string_view start, size_t count, const ScanFn& 
   bool stopped = false;
   for (Leaf* l = FindLeaf(start); l != nullptr && emitted < count && !stopped;
        l = l->next) {
-    emitted += ScanLeaf(l, start, count - emitted, fn, &stopped);
+    emitted += leafops::ScanRange(l, start, /*strict=*/false, count - emitted,
+                                  fn, &stopped, nullptr);
   }
   return emitted;
 }
 
 // --- structural changes ----------------------------------------------------
-
-namespace {
-
-// Shortest prefix of right_min that compares greater than left_max — the new
-// leaf's anchor A, satisfying left_max < A <= right_min. Because left_max <
-// right_min, the first byte where right_min departs from left_max exists
-// within right_min, and cutting just past it yields the separator.
-size_t SeparatorLen(const std::string& left_max, const std::string& right_min) {
-  size_t i = 0;
-  while (i < left_max.size() && left_max[i] == right_min[i]) {
-    i++;
-  }
-  return i + 1;
-}
-
-}  // namespace
 
 void WormholeUnsafe::SplitLeaf(Leaf* left) {
   const size_t n = left->slots.size();
@@ -460,24 +306,9 @@ void WormholeUnsafe::SplitLeaf(Leaf* left) {
   for (const uint16_t id : left->by_key) {
     sorted.push_back(std::move(left->slots[id]));
   }
-  size_t si = n / 2;
-  if (opt_.split_shortest_anchor) {
-    const size_t lo = std::max<size_t>(1, n / 4);
-    const size_t hi = std::min(n - 1, 3 * n / 4);
-    size_t best_len = SeparatorLen(sorted[si - 1].key, sorted[si].key);
-    for (size_t s = lo; s <= hi; s++) {
-      const size_t len = SeparatorLen(sorted[s - 1].key, sorted[s].key);
-      const auto dist = [&](size_t x) {
-        return x > n / 2 ? x - n / 2 : n / 2 - x;
-      };
-      if (len < best_len || (len == best_len && dist(s) < dist(si))) {
-        best_len = len;
-        si = s;
-      }
-    }
-  }
-  std::string anchor =
-      sorted[si].key.substr(0, SeparatorLen(sorted[si - 1].key, sorted[si].key));
+  const size_t si = leafops::ChooseSplitIndex(sorted, opt_.split_shortest_anchor);
+  std::string anchor = sorted[si].key.substr(
+      0, leafops::SeparatorLen(sorted[si - 1].key, sorted[si].key));
 
   Leaf* right = new Leaf;
   right->anchor = std::move(anchor);
@@ -485,8 +316,8 @@ void WormholeUnsafe::SplitLeaf(Leaf* left) {
                       std::make_move_iterator(sorted.end()));
   sorted.resize(si);
   left->slots = std::move(sorted);
-  RebuildLeafIndexes(left);
-  RebuildLeafIndexes(right);
+  leafops::RebuildIndexes(left, opt_.direct_pos);
+  leafops::RebuildIndexes(right, opt_.direct_pos);
 
   right->next = left->next;
   right->prev = left;
@@ -607,65 +438,698 @@ WormholeStats WormholeUnsafe::stats() const {
   return s;
 }
 
-// --- thread-safe wrapper ---------------------------------------------------
+// --- concurrent Wormhole ----------------------------------------------------
+//
+// Invariants (see wormhole.h for the model):
+//   - Anchors, node prefixes and list membership order are immutable; only
+//     pointers between objects change, always via release stores.
+//   - All structural mutation (split / removal / table growth) happens under
+//     meta_mu_, so there is at most one structural writer; readers see any
+//     interleaving of its atomic stores and rely on leaf validation + retry.
+//   - Unlinked leaves / nodes / bucket arrays are retired to QSBR, never
+//     freed inline: a lock-free reader routed through stale state must be
+//     able to dereference it, fail validation, and retry safely.
+
+// Trie node with lock-free-readable fields. Pre-publication initialization
+// uses relaxed stores (the bucket pointer swap that publishes the node is a
+// release store); all later in-place updates are release stores.
+struct Wormhole::Node {
+  const std::string prefix;
+  std::atomic<Leaf*> lmost{nullptr};
+  std::atomic<Leaf*> rmost{nullptr};
+  std::atomic<bool> has_terminal{false};
+  std::atomic<uint64_t> child_bits[4];
+
+  explicit Node(std::string p) : prefix(std::move(p)) {
+    for (auto& w : child_bits) {
+      w.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  void SetChild(uint8_t b) {
+    child_bits[b >> 6].fetch_or(1ull << (b & 63), std::memory_order_release);
+  }
+  void ClearChild(uint8_t b) {
+    child_bits[b >> 6].fetch_and(~(1ull << (b & 63)), std::memory_order_release);
+  }
+
+  // Largest child byte <= t, or -1.
+  int LargestChildLE(uint8_t t) const {
+    int w = t >> 6;
+    const int bit = t & 63;
+    uint64_t bits = child_bits[w].load(std::memory_order_acquire) &
+                    (bit == 63 ? ~0ull : (2ull << bit) - 1);
+    while (true) {
+      if (bits != 0) {
+        return (w << 6) + 63 - __builtin_clzll(bits);
+      }
+      if (--w < 0) {
+        return -1;
+      }
+      bits = child_bits[w].load(std::memory_order_acquire);
+    }
+  }
+};
+
+struct Wormhole::Leaf {
+  const std::string anchor;
+  std::atomic<Leaf*> prev{nullptr};
+  std::atomic<Leaf*> next{nullptr};
+  mutable std::shared_mutex lock;
+  // Bumped under the exclusive lock whenever coverage changes: +2 on a split
+  // (still live, range shrank), +1 on removal. Validation today consults only
+  // the parity (odd = retired ⇒ drop the leaf and retry; live-leaf shrinkage
+  // is caught by the range check in Covers); the split bump keeps the counter
+  // a truthful coverage-change count for future optimistic read paths.
+  std::atomic<uint64_t> version{0};
+  std::vector<detail::Item> slots;  // guarded by lock, as are the indexes
+  std::vector<uint16_t> by_key;
+  std::vector<uint16_t> by_hash;
+
+  explicit Leaf(std::string a) : anchor(std::move(a)) {}
+  bool retired() const {  // callers hold lock in either mode
+    return (version.load(std::memory_order_relaxed) & 1) != 0;
+  }
+};
+
+struct Wormhole::Table {
+  const size_t mask;
+  std::vector<std::atomic<Bucket*>> buckets;
+
+  explicit Table(size_t n) : mask(n - 1), buckets(n) {
+    for (auto& b : buckets) {
+      b.store(nullptr, std::memory_order_relaxed);
+    }
+  }
+};
+
+Wormhole::Wormhole(const Options& opt) : opt_(opt) {
+  if (opt_.leaf_capacity < 4) {
+    opt_.leaf_capacity = 4;
+  } else if (opt_.leaf_capacity > 4096) {
+    opt_.leaf_capacity = 4096;
+  }
+  head_ = new Leaf("");  // anchor "" — covers everything until the first split
+  root_ = new Node("");
+  root_->lmost.store(head_, std::memory_order_relaxed);
+  root_->rmost.store(head_, std::memory_order_relaxed);
+  root_->has_terminal.store(true, std::memory_order_relaxed);
+  Table* t = new Table(256);
+  const uint32_t h = HashPrefix({});
+  t->buckets[h & t->mask].store(new Bucket{Entry{h, root_}},
+                                std::memory_order_relaxed);
+  table_.store(t, std::memory_order_release);
+  node_count_ = 1;
+}
+
+Wormhole::~Wormhole() {
+  // Contract: no concurrent operations; every other thread has quiesced or
+  // exited. Free the live structure, then drain whatever this index retired.
+  Table* t = table_.load(std::memory_order_acquire);
+  for (auto& slot : t->buckets) {
+    Bucket* b = slot.load(std::memory_order_relaxed);
+    if (b != nullptr) {
+      for (const Entry& e : *b) {
+        delete e.node;
+      }
+      delete b;
+    }
+  }
+  delete t;
+  for (Leaf* l = head_; l != nullptr;) {
+    Leaf* next = l->next.load(std::memory_order_relaxed);
+    delete l;
+    l = next;
+  }
+  QsbrQuiesce();
+  // Bounded drain of the shared QSBR instance: reclaim while making progress.
+  // With this index's threads quiesced (the contract), everything it retired
+  // is freed here; anything still blocked belongs to *other* live indexes or
+  // stale registrants, and spinning on it (Qsbr::Drain) could hang this
+  // destructor on state it does not own. Leftovers are freed by later
+  // reclaims or by ~Qsbr at process exit.
+  while (Qsbr::Default().TryReclaim() > 0) {
+  }
+}
+
+// --- lock-free read path ---------------------------------------------------
+
+Wormhole::Node* Wormhole::LookupNode(const Table* t, uint32_t hash,
+                                     std::string_view prefix) const {
+  const Bucket* b = t->buckets[hash & t->mask].load(std::memory_order_acquire);
+  if (b == nullptr) {
+    return nullptr;
+  }
+  const uint16_t tag = TagOf(hash);
+  if (opt_.sort_by_tag) {
+    auto it = std::lower_bound(
+        b->begin(), b->end(), tag,
+        [](const Entry& e, uint16_t tg) { return TagOf(e.hash) < tg; });
+    for (; it != b->end() && TagOf(it->hash) == tag; ++it) {
+      if (it->node->prefix == prefix) {
+        return it->node;
+      }
+    }
+    return nullptr;
+  }
+  for (const Entry& e : *b) {
+    if (opt_.tag_matching && TagOf(e.hash) != tag) {
+      continue;
+    }
+    if (e.node->prefix == prefix) {
+      return e.node;
+    }
+  }
+  return nullptr;
+}
+
+Wormhole::Node* Wormhole::LookupChild(const Table* t, uint32_t hash,
+                                      std::string_view prefix, char extra) const {
+  const Bucket* b = t->buckets[hash & t->mask].load(std::memory_order_acquire);
+  if (b == nullptr) {
+    return nullptr;
+  }
+  const uint16_t tag = TagOf(hash);
+  const size_t len = prefix.size() + 1;
+  for (const Entry& e : *b) {
+    if (opt_.tag_matching && TagOf(e.hash) != tag) {
+      continue;
+    }
+    const std::string& p = e.node->prefix;
+    if (p.size() == len && p.back() == extra &&
+        std::memcmp(p.data(), prefix.data(), prefix.size()) == 0) {
+      return e.node;
+    }
+  }
+  return nullptr;
+}
+
+Wormhole::Node* Wormhole::Lpm(const Table* t, std::string_view key,
+                              uint32_t* state_out) const {
+  size_t lo = 0;
+  size_t hi = std::min(key.size(), max_anchor_len_.load(std::memory_order_relaxed));
+  uint32_t lo_state = kCrc32cInit;
+  Node* best = root_;
+  uint64_t probes = 0;
+  while (lo < hi) {
+    const size_t m = (lo + hi + 1) / 2;
+    const uint32_t st = opt_.inc_hashing
+                            ? Crc32cExtend(lo_state, key.data() + lo, m - lo)
+                            : Crc32cExtend(kCrc32cInit, key.data(), m);
+    probes++;
+    Node* n = LookupNode(t, st, key.substr(0, m));
+    if (n != nullptr) {
+      best = n;
+      lo = m;
+      lo_state = st;
+    } else {
+      hi = m - 1;
+    }
+  }
+  if (opt_.count_probes) {
+    probes_.fetch_add(probes, std::memory_order_relaxed);
+  }
+  *state_out = lo_state;
+  return best;
+}
+
+Wormhole::Leaf* Wormhole::RouteToLeaf(std::string_view key) const {
+  if (opt_.count_probes) {
+    lookups_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const Table* t = table_.load(std::memory_order_acquire);
+  uint32_t state;
+  Node* n = Lpm(t, key, &state);
+  const size_t m = n->prefix.size();
+  if (m == key.size()) {
+    Leaf* lm = n->lmost.load(std::memory_order_acquire);
+    if (lm == nullptr) {
+      return nullptr;  // node observed mid-publication
+    }
+    return n->has_terminal.load(std::memory_order_acquire)
+               ? lm
+               : lm->prev.load(std::memory_order_acquire);
+  }
+  const uint8_t tb = static_cast<uint8_t>(key[m]);
+  const int c = n->LargestChildLE(tb);
+  if (c < 0) {
+    Leaf* lm = n->lmost.load(std::memory_order_acquire);
+    if (lm == nullptr) {
+      return nullptr;
+    }
+    return n->has_terminal.load(std::memory_order_acquire)
+               ? lm
+               : lm->prev.load(std::memory_order_acquire);
+  }
+  const char cb = static_cast<char>(c);
+  const uint32_t child_hash = Crc32cExtend(state, &cb, 1);
+  if (opt_.count_probes) {
+    probes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  Node* child = LookupChild(t, child_hash, n->prefix, cb);
+  if (child == nullptr) {
+    return nullptr;  // child bit and bucket observed from different instants
+  }
+  return child->rmost.load(std::memory_order_acquire);
+}
+
+bool Wormhole::Covers(const Leaf* leaf, std::string_view key) {
+  // Caller holds leaf->lock (either mode). The version and the leaf's own
+  // range only change under that lock held exclusively; a *successor's*
+  // removal can swing leaf->next concurrently, but that only grows the true
+  // range, so a stale next either accepts correctly or rejects and retries.
+  if (leaf->retired()) {
+    return false;
+  }
+  if (key < std::string_view(leaf->anchor)) {
+    return false;
+  }
+  const Leaf* nx = leaf->next.load(std::memory_order_acquire);
+  return nx == nullptr || key < std::string_view(nx->anchor);
+}
+
+Wormhole::Leaf* Wormhole::AcquireLeaf(std::string_view key, Mode mode) {
+  for (int attempt = 0; attempt < 64; attempt++) {
+    Leaf* leaf = RouteToLeaf(key);
+    if (leaf == nullptr) {
+      std::this_thread::yield();
+      continue;
+    }
+    if (mode == Mode::kShared) {
+      leaf->lock.lock_shared();
+    } else {
+      leaf->lock.lock();
+    }
+    if (Covers(leaf, key)) {
+      return leaf;
+    }
+    if (mode == Mode::kShared) {
+      leaf->lock.unlock_shared();
+    } else {
+      leaf->lock.unlock();
+    }
+  }
+  // Structural churn outran optimistic routing; serialize with the writers —
+  // under meta_mu_ the trie is stable, so the route is exact.
+  std::lock_guard<std::mutex> g(meta_mu_);
+  Leaf* leaf = RouteToLeaf(key);
+  assert(leaf != nullptr);
+  if (mode == Mode::kShared) {
+    leaf->lock.lock_shared();
+  } else {
+    leaf->lock.lock();
+  }
+  assert(Covers(leaf, key));
+  return leaf;
+}
+
+// --- public concurrent API -------------------------------------------------
 
 bool Wormhole::Get(std::string_view key, std::string* value) {
-  std::shared_lock<std::shared_mutex> g(mu_);
-  WormholeUnsafe::Leaf* leaf = core_.FindLeaf(key);
-  std::shared_lock<std::shared_mutex> s(StripeFor(leaf));
-  return core_.LeafGet(leaf, key, value);
+  QsbrOp op;
+  Leaf* leaf = AcquireLeaf(key, Mode::kShared);
+  const int slot = leafops::FindSlot(leaf, opt_.direct_pos, key);
+  const bool found = slot >= 0;
+  if (found && value != nullptr) {
+    value->assign(leaf->slots[static_cast<size_t>(slot)].value);
+  }
+  leaf->lock.unlock_shared();
+  return found;
 }
 
 void Wormhole::Put(std::string_view key, std::string_view value) {
-  {
-    // Fast path: in-leaf update/insert under a shared structure lock and an
-    // exclusive stripe lock. Splits are excluded by the shared lock, so the
-    // leaf stays valid once found.
-    std::shared_lock<std::shared_mutex> g(mu_);
-    WormholeUnsafe::Leaf* leaf = core_.FindLeaf(key);
-    std::unique_lock<std::shared_mutex> s(StripeFor(leaf));
-    if (core_.LeafTryPut(leaf, key, value) != WormholeUnsafe::LeafPut::kNeedsSplit) {
-      return;
-    }
+  QsbrOp op;
+  Leaf* leaf = AcquireLeaf(key, Mode::kExclusive);
+  const int slot = leafops::FindSlot(leaf, opt_.direct_pos, key);
+  if (slot >= 0) {
+    leaf->slots[static_cast<size_t>(slot)].value.assign(value);
+    leaf->lock.unlock();
+    return;
   }
-  // Leaf was full: retry with the structure lock held exclusively (splits).
-  std::unique_lock<std::shared_mutex> g(mu_);
-  core_.Put(key, value);
+  if (leaf->slots.size() < opt_.leaf_capacity) {
+    leafops::Insert(leaf, opt_.direct_pos, key, value);
+    item_count_.fetch_add(1, std::memory_order_relaxed);
+    leaf->lock.unlock();
+    return;
+  }
+  leaf->lock.unlock();
+  PutSlow(key, value);
+}
+
+void Wormhole::PutSlow(std::string_view key, std::string_view value) {
+  std::lock_guard<std::mutex> g(meta_mu_);
+  // Re-resolve the leaf: between the fast path dropping its lock and this
+  // point, a concurrent writer may have split (or emptied and removed) the
+  // leaf the fast path saw, so the cached pointer must not be trusted.
+  Leaf* leaf = RouteToLeaf(key);
+  leaf->lock.lock();
+  const int slot = leafops::FindSlot(leaf, opt_.direct_pos, key);
+  if (slot >= 0) {
+    leaf->slots[static_cast<size_t>(slot)].value.assign(value);
+    leaf->lock.unlock();
+    return;
+  }
+  if (leaf->slots.size() < opt_.leaf_capacity) {  // a concurrent split made room
+    leafops::Insert(leaf, opt_.direct_pos, key, value);
+    item_count_.fetch_add(1, std::memory_order_relaxed);
+    leaf->lock.unlock();
+    return;
+  }
+  SplitAndInsert(leaf, key, value);  // releases the leaf lock
 }
 
 bool Wormhole::Delete(std::string_view key) {
-  {
-    std::shared_lock<std::shared_mutex> g(mu_);
-    WormholeUnsafe::Leaf* leaf = core_.FindLeaf(key);
-    std::unique_lock<std::shared_mutex> s(StripeFor(leaf));
-    switch (core_.LeafTryDelete(leaf, key)) {
-      case WormholeUnsafe::LeafDelete::kNotFound:
-        return false;
-      case WormholeUnsafe::LeafDelete::kDeleted:
-        return true;
-      case WormholeUnsafe::LeafDelete::kNeedsMerge:
-        break;  // would empty the leaf: needs a structural retry
-    }
+  QsbrOp op;
+  Leaf* leaf = AcquireLeaf(key, Mode::kExclusive);
+  const int slot = leafops::FindSlot(leaf, opt_.direct_pos, key);
+  if (slot < 0) {
+    leaf->lock.unlock();
+    return false;
   }
-  std::unique_lock<std::shared_mutex> g(mu_);
-  return core_.Delete(key);
+  if (leaf->slots.size() > 1 || leaf == head_) {
+    leafops::Erase(leaf, opt_.direct_pos, static_cast<uint16_t>(slot));
+    item_count_.fetch_sub(1, std::memory_order_relaxed);
+    leaf->lock.unlock();
+    return true;
+  }
+  // Erasing would empty a non-head leaf: a structural change.
+  leaf->lock.unlock();
+  return DeleteSlow(key);
+}
+
+bool Wormhole::DeleteSlow(std::string_view key) {
+  std::lock_guard<std::mutex> g(meta_mu_);
+  Leaf* leaf = RouteToLeaf(key);  // re-resolve, as in PutSlow
+  leaf->lock.lock();
+  const int slot = leafops::FindSlot(leaf, opt_.direct_pos, key);
+  if (slot < 0) {
+    leaf->lock.unlock();
+    return false;
+  }
+  leafops::Erase(leaf, opt_.direct_pos, static_cast<uint16_t>(slot));
+  item_count_.fetch_sub(1, std::memory_order_relaxed);
+  if (leaf->slots.empty() && leaf != head_) {
+    RemoveLeafLocked(leaf);
+  }
+  leaf->lock.unlock();
+  return true;
 }
 
 size_t Wormhole::Scan(std::string_view start, size_t count, const ScanFn& fn) {
-  std::shared_lock<std::shared_mutex> g(mu_);
+  if (count == 0) {
+    return 0;  // never acquire a lock the loop below would not release
+  }
+  QsbrOp op;
   size_t emitted = 0;
   bool stopped = false;
-  for (WormholeUnsafe::Leaf* l = core_.FindLeaf(start);
-       l != nullptr && emitted < count && !stopped; l = l->next) {
-    std::shared_lock<std::shared_mutex> s(StripeFor(l));
-    emitted += core_.ScanLeaf(l, start, count - emitted, fn, &stopped);
+  std::string resume(start);
+  bool strict = false;  // the original start bound is inclusive
+  Leaf* leaf = AcquireLeaf(resume, Mode::kShared);
+  while (leaf != nullptr && emitted < count && !stopped) {
+    std::string last;
+    const size_t got = leafops::ScanRange(leaf, resume, strict, count - emitted,
+                                          fn, &stopped, &last);
+    emitted += got;
+    if (got > 0) {
+      resume = std::move(last);
+      strict = true;  // resume strictly after the last emitted key
+    }
+    if (stopped || emitted >= count) {
+      leaf->lock.unlock_shared();
+      break;
+    }
+    Leaf* nx = leaf->next.load(std::memory_order_acquire);
+    if (nx == nullptr) {
+      leaf->lock.unlock_shared();
+      break;
+    }
+    // Hand-over-hand: lock the successor before releasing the current leaf,
+    // so no split can slip an unvisited leaf in between.
+    nx->lock.lock_shared();
+    leaf->lock.unlock_shared();
+    if (nx->retired()) {
+      // The successor was emptied and removed mid-handoff; re-route from the
+      // last emitted key.
+      nx->lock.unlock_shared();
+      leaf = AcquireLeaf(resume, Mode::kShared);
+      continue;
+    }
+    leaf = nx;
   }
   return emitted;
 }
 
+// --- structural writers (meta_mu_ held) ------------------------------------
+
+void Wormhole::InsertEntry(uint32_t hash, Node* node) {
+  Table* t = table_.load(std::memory_order_relaxed);
+  std::atomic<Bucket*>& slot = t->buckets[hash & t->mask];
+  Bucket* old = slot.load(std::memory_order_relaxed);
+  Bucket* nb = old != nullptr ? new Bucket(*old) : new Bucket();
+  if (opt_.sort_by_tag) {
+    const uint16_t tag = TagOf(hash);
+    auto it = std::lower_bound(
+        nb->begin(), nb->end(), tag,
+        [](const Entry& e, uint16_t tg) { return TagOf(e.hash) < tg; });
+    nb->insert(it, Entry{hash, node});
+  } else {
+    nb->push_back(Entry{hash, node});
+  }
+  slot.store(nb, std::memory_order_release);
+  if (old != nullptr) {
+    Qsbr::Default().Retire(old);
+  }
+}
+
+void Wormhole::RemoveEntry(uint32_t hash, Node* node) {
+  Table* t = table_.load(std::memory_order_relaxed);
+  std::atomic<Bucket*>& slot = t->buckets[hash & t->mask];
+  Bucket* old = slot.load(std::memory_order_relaxed);
+  assert(old != nullptr);
+  Bucket* nb = new Bucket();
+  nb->reserve(old->size() - 1);
+  for (const Entry& e : *old) {
+    if (e.node != node) {
+      nb->push_back(e);
+    }
+  }
+  assert(nb->size() + 1 == old->size() && "MetaTrieHT entry missing on removal");
+  slot.store(nb, std::memory_order_release);
+  Qsbr::Default().Retire(old);
+}
+
+void Wormhole::MaybeGrowTable() {
+  Table* t = table_.load(std::memory_order_relaxed);
+  if (node_count_ <= t->buckets.size() * 2) {
+    return;
+  }
+  Table* nt = new Table(t->buckets.size() * 2);
+  std::vector<Bucket> rehashed(nt->buckets.size());
+  for (auto& bp : t->buckets) {
+    const Bucket* b = bp.load(std::memory_order_relaxed);
+    if (b == nullptr) {
+      continue;
+    }
+    // Splitting a tag-sorted bucket by one hash bit preserves relative order,
+    // so the rehashed buckets stay tag-sorted.
+    for (const Entry& e : *b) {
+      rehashed[e.hash & nt->mask].push_back(e);
+    }
+  }
+  for (size_t i = 0; i < rehashed.size(); i++) {
+    if (!rehashed[i].empty()) {
+      nt->buckets[i].store(new Bucket(std::move(rehashed[i])),
+                           std::memory_order_relaxed);
+    }
+  }
+  table_.store(nt, std::memory_order_release);
+  for (auto& bp : t->buckets) {
+    Bucket* b = bp.load(std::memory_order_relaxed);
+    if (b != nullptr) {
+      Qsbr::Default().Retire(b);
+    }
+  }
+  Qsbr::Default().Retire(t);
+}
+
+void Wormhole::InsertAnchor(const std::string& anchor, Leaf* leaf) {
+  uint32_t state = kCrc32cInit;
+  Node* parent = nullptr;
+  const Table* t = table_.load(std::memory_order_relaxed);
+  // Shallow-to-deep insertion keeps the present prefix set prefix-closed at
+  // every instant, preserving the binary-search monotonicity readers rely on;
+  // each node is fully initialized before the bucket swap publishes it, and
+  // the parent's child bit is set only after the child is findable.
+  for (size_t d = 0; d <= anchor.size(); d++) {
+    if (d > 0) {
+      state = Crc32cExtend(state, anchor.data() + d - 1, 1);
+    }
+    const std::string_view prefix(anchor.data(), d);
+    Node* n = LookupNode(t, state, prefix);
+    if (n == nullptr) {
+      n = new Node(std::string(prefix));
+      n->lmost.store(leaf, std::memory_order_relaxed);
+      n->rmost.store(leaf, std::memory_order_relaxed);
+      if (d == anchor.size()) {
+        n->has_terminal.store(true, std::memory_order_relaxed);
+      }
+      InsertEntry(state, n);
+      node_count_++;
+      parent->SetChild(static_cast<uint8_t>(anchor[d - 1]));  // d >= 1: root pre-exists
+    } else {
+      if (anchor < n->lmost.load(std::memory_order_relaxed)->anchor) {
+        n->lmost.store(leaf, std::memory_order_release);
+      }
+      if (anchor > n->rmost.load(std::memory_order_relaxed)->anchor) {
+        n->rmost.store(leaf, std::memory_order_release);
+      }
+      if (d == anchor.size()) {
+        n->has_terminal.store(true, std::memory_order_release);
+      }
+    }
+    parent = n;
+  }
+  if (anchor.size() > max_anchor_len_.load(std::memory_order_relaxed)) {
+    max_anchor_len_.store(anchor.size(), std::memory_order_release);
+  }
+}
+
+void Wormhole::SplitAndInsert(Leaf* left, std::string_view key,
+                              std::string_view value) {
+  // Preconditions: meta_mu_ and left->lock (exclusive) held; left is full and
+  // does not contain key.
+  const size_t n = left->slots.size();
+  assert(n >= 2);
+  std::vector<detail::Item> sorted;
+  sorted.reserve(n);
+  for (const uint16_t id : left->by_key) {
+    sorted.push_back(std::move(left->slots[id]));
+  }
+  const size_t si = leafops::ChooseSplitIndex(sorted, opt_.split_shortest_anchor);
+  Leaf* right = new Leaf(sorted[si].key.substr(
+      0, leafops::SeparatorLen(sorted[si - 1].key, sorted[si].key)));
+  right->slots.assign(std::make_move_iterator(sorted.begin() + static_cast<ptrdiff_t>(si)),
+                      std::make_move_iterator(sorted.end()));
+  sorted.resize(si);
+  left->slots = std::move(sorted);
+  // The new item goes to whichever side covers it — placed before publication,
+  // so no second published-leaf lock is ever taken.
+  const uint32_t h =
+      opt_.direct_pos ? Crc32cExtend(kCrc32cInit, key.data(), key.size()) : 0;
+  if (key < std::string_view(right->anchor)) {
+    left->slots.push_back({h, std::string(key), std::string(value)});
+  } else {
+    right->slots.push_back({h, std::string(key), std::string(value)});
+  }
+  item_count_.fetch_add(1, std::memory_order_relaxed);
+  leafops::RebuildIndexes(left, opt_.direct_pos);
+  leafops::RebuildIndexes(right, opt_.direct_pos);
+
+  // Publish: first link the fully built leaf into the list (the release store
+  // to left->next publishes right's fields), then add its anchor to the trie.
+  // A reader routed to left for a right-side key in between fails validation
+  // (key >= right->anchor) and retries.
+  Leaf* nx = left->next.load(std::memory_order_relaxed);
+  right->prev.store(left, std::memory_order_relaxed);
+  right->next.store(nx, std::memory_order_relaxed);
+  if (nx != nullptr) {
+    nx->prev.store(right, std::memory_order_release);
+  }
+  left->next.store(right, std::memory_order_release);
+  left->version.fetch_add(2, std::memory_order_release);  // live, range shrank
+
+  InsertAnchor(right->anchor, right);
+  MaybeGrowTable();
+  left->lock.unlock();
+}
+
+void Wormhole::RemoveLeafLocked(Leaf* leaf) {
+  // Preconditions: meta_mu_ and leaf->lock (exclusive) held; leaf is empty
+  // and is not head_.
+  assert(leaf != head_ && leaf->slots.empty());
+  leaf->version.fetch_add(1, std::memory_order_release);  // odd: retired
+  const std::string& a = leaf->anchor;
+  std::vector<uint32_t> states(a.size() + 1);
+  states[0] = kCrc32cInit;
+  for (size_t d = 1; d <= a.size(); d++) {
+    states[d] = Crc32cExtend(states[d - 1], a.data() + d - 1, 1);
+  }
+  const Table* t = table_.load(std::memory_order_relaxed);
+  Leaf* lprev = leaf->prev.load(std::memory_order_relaxed);
+  Leaf* lnext = leaf->next.load(std::memory_order_relaxed);
+  // Deepest-first: nodes whose subtree held only this leaf are unlinked and
+  // retired (the prefix set stays prefix-closed at every instant); survivors
+  // get their leaf bounds repointed to the contiguous neighbor.
+  for (size_t d = a.size();; d--) {
+    Node* n = LookupNode(t, states[d], std::string_view(a.data(), d));
+    assert(n != nullptr);
+    if (n->lmost.load(std::memory_order_relaxed) == leaf &&
+        n->rmost.load(std::memory_order_relaxed) == leaf) {
+      // d >= 1 here: the root spans head_, which is never removed.
+      RemoveEntry(states[d], n);
+      node_count_--;
+      Node* parent = LookupNode(t, states[d - 1], std::string_view(a.data(), d - 1));
+      parent->ClearChild(static_cast<uint8_t>(a[d - 1]));
+      Qsbr::Default().Retire(n);
+    } else {
+      if (d == a.size()) {
+        n->has_terminal.store(false, std::memory_order_release);
+      }
+      if (n->lmost.load(std::memory_order_relaxed) == leaf) {
+        n->lmost.store(lnext, std::memory_order_release);
+      }
+      if (n->rmost.load(std::memory_order_relaxed) == leaf) {
+        n->rmost.store(lprev, std::memory_order_release);
+      }
+    }
+    if (d == 0) {
+      break;
+    }
+  }
+  lprev->next.store(lnext, std::memory_order_release);
+  if (lnext != nullptr) {
+    lnext->prev.store(lprev, std::memory_order_release);
+  }
+  // The leaf is unreachable for new readers; in-flight ones still holding it
+  // see the odd version and retry. Freed after the grace period (the caller's
+  // own quiescent report comes after it releases leaf->lock).
+  Qsbr::Default().Retire(leaf);
+}
+
+// --- accounting ------------------------------------------------------------
+
 uint64_t Wormhole::MemoryBytes() const {
-  std::unique_lock<std::shared_mutex> g(mu_);
-  return core_.MemoryBytes();
+  std::lock_guard<std::mutex> g(meta_mu_);  // structure is stable underneath
+  uint64_t total = sizeof(*this);
+  for (Leaf* l = head_; l != nullptr; l = l->next.load(std::memory_order_relaxed)) {
+    std::shared_lock<std::shared_mutex> lk(l->lock);
+    total += sizeof(Leaf) + StrHeapBytes(l->anchor);
+    total += l->slots.capacity() * sizeof(detail::Item);
+    total += (l->by_key.capacity() + l->by_hash.capacity()) * sizeof(uint16_t);
+    for (const detail::Item& item : l->slots) {
+      total += StrHeapBytes(item.key) + StrHeapBytes(item.value);
+    }
+  }
+  const Table* t = table_.load(std::memory_order_relaxed);
+  total += sizeof(Table) + t->buckets.size() * sizeof(std::atomic<Bucket*>);
+  for (const auto& bp : t->buckets) {
+    const Bucket* b = bp.load(std::memory_order_relaxed);
+    if (b == nullptr) {
+      continue;
+    }
+    total += sizeof(Bucket) + b->capacity() * sizeof(Entry);
+    for (const Entry& e : *b) {
+      total += sizeof(Node) + StrHeapBytes(e.node->prefix);
+    }
+  }
+  return total;
+}
+
+WormholeStats Wormhole::stats() const {
+  WormholeStats s;
+  s.lookups = lookups_.load(std::memory_order_relaxed);
+  s.probes = probes_.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace wh

@@ -22,17 +22,48 @@
 //   direct_pos    per-leaf hash-ordered position index, so an in-leaf point
 //                 search compares 4-byte hashes instead of full keys
 //
-// WormholeUnsafe is the single-threaded core. Wormhole layers striped leaf
-// locks under a global shared mutex: lookups and in-leaf updates take the
-// global lock shared (plus a per-leaf stripe), and only structural changes
-// (leaf split / empty-leaf removal, both rare) take it exclusive.
+// Concurrency (class Wormhole; the paper's section 4 design):
+//
+// An earlier revision wrapped the single-threaded core in one global
+// std::shared_mutex. That was a scalability bug, not a simplification: every
+// reader bounces the mutex's reader-count cache line between cores, so
+// aggregate Get throughput flatlines as threads grow — the exact collapse the
+// paper's Fig. 9 exists to rule out. The wrapper is gone. Instead:
+//
+//   - Readers never take any structure-wide lock. A lookup walks the
+//     MetaTrieHT lock-free (hash buckets are immutable copy-on-write arrays
+//     published by atomic pointer stores; trie-node fields are word-sized
+//     atomics), then takes only the target leaf's reader-writer lock and
+//     validates that the leaf still covers the key: its version counter —
+//     bumped on every structural change, odd once the leaf is retired — must
+//     be even, and the key must fall inside [anchor, next->anchor). A stale
+//     route simply retries; after a bounded number of attempts it falls back
+//     to serializing with writers.
+//   - In-leaf writes (update / insert with room / non-emptying delete) take
+//     only that leaf's lock.
+//   - Structural changes (leaf split, empty-leaf removal, table growth)
+//     serialize on one internal mutex — they are rare, O(items/capacity) —
+//     and publish new state with release stores. Replaced leaves, trie nodes
+//     and bucket arrays are handed to QSBR (src/common/qsbr.h) and freed only
+//     after every thread passes a quiescent state, so lock-free readers can
+//     keep dereferencing what they already found.
+//
+// Threading requirements for embedders: threads are registered with QSBR
+// lazily on first use and unregistered at thread exit; every Wormhole
+// operation reports a quiescent state on completion. Long-lived threads that
+// stop calling into the index should unregister (QsbrThreadScope) so they do
+// not stall reclamation, and an index must only be destroyed after all other
+// threads have quiesced or exited.
+//
+// WormholeUnsafe is the single-threaded core (no locks, no atomic publication)
+// used by the Fig. 11 ablation configurations and as the differential-test
+// reference.
 #ifndef WH_SRC_CORE_WORMHOLE_H_
 #define WH_SRC_CORE_WORMHOLE_H_
 
-#include <array>
 #include <atomic>
 #include <cstdint>
-#include <shared_mutex>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -40,6 +71,14 @@
 #include "src/common/scan.h"
 
 namespace wh {
+
+namespace detail {
+struct Item {
+  uint32_t hash;  // raw CRC32C state of the full key
+  std::string key;
+  std::string value;
+};
+}  // namespace detail
 
 struct Options {
   bool tag_matching = true;
@@ -51,6 +90,7 @@ struct Options {
   // minimizes the new anchor's length.
   bool split_shortest_anchor = false;
   // Count MetaTrieHT hash probes per lookup (the O(log L) validation bench).
+  // When false, lookups touch no shared statistics counters at all.
   bool count_probes = false;
   // Clamped to [4, 4096]: leaf indexes use 16-bit slot ids.
   size_t leaf_capacity = 128;
@@ -68,11 +108,7 @@ struct WormholeStats {
 // Single-threaded Wormhole core. Not safe for any concurrent use.
 class WormholeUnsafe {
  public:
-  struct Item {
-    uint32_t hash;  // raw CRC32C state of the full key
-    std::string key;
-    std::string value;
-  };
+  using Item = detail::Item;
 
   // Leaf items sit in `slots` at stable positions (append on insert,
   // swap-with-last on erase); `by_key` holds slot ids in key order and
@@ -104,25 +140,8 @@ class WormholeUnsafe {
   WormholeStats stats() const;
   const Options& options() const { return opt_; }
 
-  // --- building blocks used by the thread-safe wrapper ---
-
   // The unique leaf with anchor <= key < next-anchor. Only reads the trie.
   Leaf* FindLeaf(std::string_view key);
-
-  bool LeafGet(Leaf* leaf, std::string_view key, std::string* value);
-
-  enum class LeafPut { kUpdated, kInserted, kNeedsSplit };
-  // Updates in place, or inserts if the leaf has room; never splits.
-  LeafPut LeafTryPut(Leaf* leaf, std::string_view key, std::string_view value);
-
-  enum class LeafDelete { kNotFound, kDeleted, kNeedsMerge };
-  // Erases unless that would empty a non-head leaf (a structural change).
-  LeafDelete LeafTryDelete(Leaf* leaf, std::string_view key);
-
-  // Scans one leaf (items >= start), returns fn invocations, sets *stopped
-  // when fn returned false.
-  size_t ScanLeaf(Leaf* leaf, std::string_view start, size_t limit, const ScanFn& fn,
-                  bool* stopped);
 
  private:
   struct Node;
@@ -143,11 +162,6 @@ class WormholeUnsafe {
   // CRC32C state of that prefix.
   Node* Lpm(std::string_view key, uint32_t* state_out);
 
-  int FindSlot(Leaf* leaf, std::string_view key) const;
-  void InsertIntoLeaf(Leaf* leaf, std::string_view key, std::string_view value);
-  void EraseFromLeaf(Leaf* leaf, uint16_t id);
-  void RebuildLeafIndexes(Leaf* leaf);
-
   void SplitLeaf(Leaf* leaf);
   void InsertAnchor(const std::string& anchor, Leaf* leaf);
   void RemoveLeaf(Leaf* leaf);
@@ -164,12 +178,16 @@ class WormholeUnsafe {
   mutable std::atomic<uint64_t> lookups_{0};
 };
 
-// Thread-safe Wormhole: concurrent readers always, concurrent writers via
-// striped per-leaf locks; structural changes serialize on the global mutex.
+// Thread-safe Wormhole: lock-free lookups through the MetaTrieHT, per-leaf
+// reader-writer locks for item access, QSBR reclamation for structural
+// changes. See the header comment for the full concurrency model.
 class Wormhole {
  public:
-  Wormhole() = default;
-  explicit Wormhole(const Options& opt) : core_(opt) {}
+  Wormhole() : Wormhole(Options()) {}
+  explicit Wormhole(const Options& opt);
+  ~Wormhole();
+  Wormhole(const Wormhole&) = delete;
+  Wormhole& operator=(const Wormhole&) = delete;
 
   bool Get(std::string_view key, std::string* value);
   void Put(std::string_view key, std::string_view value);
@@ -177,19 +195,61 @@ class Wormhole {
   size_t Scan(std::string_view start, size_t count, const ScanFn& fn);
 
   uint64_t MemoryBytes() const;
-  size_t size() const { return core_.size(); }
-  WormholeStats stats() const { return core_.stats(); }
+  size_t size() const { return item_count_.load(std::memory_order_relaxed); }
+  WormholeStats stats() const;
+  const Options& options() const { return opt_; }
 
  private:
-  static constexpr size_t kStripes = 64;
+  struct Node;
+  struct Leaf;
+  struct Entry {
+    uint32_t hash;
+    Node* node;
+  };
+  // Immutable once published: updates build a copy and swing the bucket
+  // pointer; the old array is retired via QSBR.
+  using Bucket = std::vector<Entry>;
+  struct Table;
 
-  std::shared_mutex& StripeFor(const void* leaf) const {
-    return stripes_[(reinterpret_cast<uintptr_t>(leaf) >> 6) % kStripes];
-  }
+  enum class Mode { kShared, kExclusive };
 
-  WormholeUnsafe core_;
-  mutable std::shared_mutex mu_;
-  mutable std::array<std::shared_mutex, kStripes> stripes_;
+  // Lock-free read path.
+  Node* LookupNode(const Table* t, uint32_t hash, std::string_view prefix) const;
+  Node* LookupChild(const Table* t, uint32_t hash, std::string_view prefix,
+                    char extra) const;
+  Node* Lpm(const Table* t, std::string_view key, uint32_t* state_out) const;
+  // Best-effort route to the covering leaf; may return nullptr or a stale
+  // leaf during a concurrent structural change (callers validate + retry).
+  Leaf* RouteToLeaf(std::string_view key) const;
+  // Route + lock + validate, retrying on concurrent splits/merges; falls back
+  // to serializing with structural writers after bounded retries. Returns the
+  // leaf with its lock held in `mode`.
+  Leaf* AcquireLeaf(std::string_view key, Mode mode);
+  static bool Covers(const Leaf* leaf, std::string_view key);
+
+  // Structural writers (meta_mu_ held).
+  void InsertEntry(uint32_t hash, Node* node);
+  void RemoveEntry(uint32_t hash, Node* node);
+  void MaybeGrowTable();
+  void InsertAnchor(const std::string& anchor, Leaf* leaf);
+  void SplitAndInsert(Leaf* leaf, std::string_view key, std::string_view value);
+  void RemoveLeafLocked(Leaf* leaf);
+  void PutSlow(std::string_view key, std::string_view value);
+  bool DeleteSlow(std::string_view key);
+
+  Options opt_;
+  std::atomic<Table*> table_{nullptr};
+  Node* root_ = nullptr;  // never removed (anchor "" always exists)
+  Leaf* head_ = nullptr;  // never removed
+  std::atomic<size_t> max_anchor_len_{0};
+  size_t node_count_ = 0;  // guarded by meta_mu_
+  // Serializes splits, merges and table growth (rare: O(1/leaf_capacity) of
+  // writes). Lookups and in-leaf writes never touch it outside the bounded
+  // retry fallback.
+  mutable std::mutex meta_mu_;
+  std::atomic<size_t> item_count_{0};
+  mutable std::atomic<uint64_t> probes_{0};
+  mutable std::atomic<uint64_t> lookups_{0};
 };
 
 }  // namespace wh

@@ -293,6 +293,44 @@ TEST(IndexCorrectness, WormholeBinaryKeysAndSplitHeuristic) {
   }
 }
 
+// The probe/lookup statistics are a measurement aid; with count_probes off
+// (the default) the read path must not touch the shared counters at all —
+// cross-core traffic on them would skew exactly the figures (9, 10) that the
+// counters exist to validate elsewhere.
+TEST(IndexCorrectness, ProbeCountersAreGatedByOption) {
+  const auto pool = GenerateKeyset({KeysetId::kK4, 500, 7});
+  Options counting;
+  counting.count_probes = true;
+
+  WormholeUnsafe unsafe_off;
+  WormholeUnsafe unsafe_on(counting);
+  Wormhole safe_off;
+  Wormhole safe_on(counting);
+  std::string value;
+  for (const auto& k : pool) {
+    unsafe_off.Put(k, "v");
+    unsafe_on.Put(k, "v");
+    safe_off.Put(k, "v");
+    safe_on.Put(k, "v");
+  }
+  for (const auto& k : pool) {
+    unsafe_off.Get(k, &value);
+    unsafe_on.Get(k, &value);
+    safe_off.Get(k, &value);
+    safe_on.Get(k, &value);
+  }
+
+  EXPECT_EQ(unsafe_off.stats().lookups, 0u);
+  EXPECT_EQ(unsafe_off.stats().probes, 0u);
+  EXPECT_EQ(safe_off.stats().lookups, 0u);
+  EXPECT_EQ(safe_off.stats().probes, 0u);
+
+  EXPECT_GE(unsafe_on.stats().lookups, pool.size());
+  EXPECT_GT(unsafe_on.stats().probes, 0u);
+  EXPECT_GE(safe_on.stats().lookups, pool.size());
+  EXPECT_GT(safe_on.stats().probes, 0u);
+}
+
 TEST(IndexCorrectness, MemoryBytesIsPlausible) {
   const auto pool = GenerateKeyset({KeysetId::kK4, 2000, 3});
   uint64_t key_bytes = 0;

@@ -137,6 +137,156 @@ TEST(WormholeConcurrent, ReadersSeeNoLostOrPhantomKeys) {
   }
 }
 
+// Regression for the Put slow path: once a writer drops the leaf lock to take
+// the structural path, the leaf it saw may have been split by the other
+// writer, so the slow path must re-resolve the covering leaf. Two writers
+// interleave keys that land in the same leaves with a tiny capacity, keeping
+// every insert near a split boundary; a stale-leaf bug shows up as a key
+// inserted into a leaf that no longer covers it (lost on readback or
+// misordered in the scan).
+TEST(WormholeConcurrent, TwoWritersHammerSplitBoundaries) {
+  Options opt;
+  opt.leaf_capacity = 4;  // minimum: every few inserts force a split
+  Wormhole index(opt);
+
+  constexpr int kKeys = 30000;
+  std::vector<std::thread> writers;
+  for (int tid = 0; tid < 2; tid++) {
+    writers.emplace_back([&, tid] {
+      // Interleaved halves of one dense keyspace: both writers are always
+      // working inside the same leaves, racing each split.
+      for (int i = tid; i < kKeys; i += 2) {
+        index.Put(ResidentKey(i), "x");
+      }
+    });
+  }
+  for (auto& t : writers) {
+    t.join();
+  }
+
+  ASSERT_EQ(index.size(), static_cast<size_t>(kKeys));
+  std::string value;
+  for (int i = 0; i < kKeys; i++) {
+    ASSERT_TRUE(index.Get(ResidentKey(i), &value)) << ResidentKey(i);
+  }
+  // One ordered pass: no duplicates, no misplaced keys.
+  std::string prev;
+  size_t seen = 0;
+  index.Scan("", kKeys + 1, [&](std::string_view k, std::string_view) {
+    if (seen > 0) {
+      EXPECT_LT(std::string_view(prev), k);
+    }
+    prev.assign(k);
+    seen++;
+    return true;
+  });
+  EXPECT_EQ(seen, static_cast<size_t>(kKeys));
+}
+
+// Drains whole key ranges to empty while readers run, so empty-leaf removal —
+// leaf retirement plus trie-node/bucket retirement under QSBR — happens
+// constantly under concurrent lock-free lookups. Readers check for lost keys
+// (kept namespace must always hit) and phantoms (drained keys must be gone at
+// the end); under ASan a premature free of a leaf or trie node a reader still
+// holds becomes a use-after-free.
+TEST(WormholeConcurrent, DeleteUntilMergeUnderReaders) {
+  Options opt;
+  opt.leaf_capacity = 4;  // many leaves; every drained leaf exercises removal
+  Wormhole index(opt);
+
+  constexpr int kDoomed = 12000;
+  constexpr int kKept = 512;
+  for (int i = 0; i < kDoomed; i++) {
+    index.Put("doomed-" + std::to_string(1000000 + i), "d");
+  }
+  for (int i = 0; i < kKept; i++) {
+    index.Put("keep-" + std::to_string(1000000 + i), "k");
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> failures{0};
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < 2; tid++) {
+    threads.emplace_back([&, tid] {
+      Rng rng(400 + static_cast<uint64_t>(tid));
+      std::string value;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const int i = static_cast<int>(rng.NextBounded(kKept));
+        if (!index.Get("keep-" + std::to_string(1000000 + i), &value) ||
+            value != "k") {
+          failures.fetch_add(1);
+        }
+        // Doomed keys may or may not still exist, but a hit must be sane.
+        const int j = static_cast<int>(rng.NextBounded(kDoomed));
+        if (index.Get("doomed-" + std::to_string(1000000 + j), &value) &&
+            value != "d") {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  // Two deleters sweep the doomed range from both ends: every leaf in the
+  // range is drained to empty and removed while the readers run.
+  std::vector<std::thread> deleters;
+  std::atomic<uint64_t> deleted{0};
+  for (int tid = 0; tid < 2; tid++) {
+    deleters.emplace_back([&, tid] {
+      for (int i = tid; i < kDoomed; i += 2) {
+        const int k = tid == 0 ? i : kDoomed - 1 - (i - 1);
+        if (index.Delete("doomed-" + std::to_string(1000000 + k))) {
+          deleted.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : deleters) {
+    t.join();
+  }
+  stop.store(true);
+  for (auto& t : threads) {
+    t.join();
+  }
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(deleted.load(), static_cast<uint64_t>(kDoomed));
+  EXPECT_EQ(index.size(), static_cast<size_t>(kKept));
+  // No phantom survivors, no lost keepers.
+  std::string value;
+  for (int i = 0; i < kDoomed; i++) {
+    ASSERT_FALSE(index.Get("doomed-" + std::to_string(1000000 + i), &value));
+  }
+  for (int i = 0; i < kKept; i++) {
+    ASSERT_TRUE(index.Get("keep-" + std::to_string(1000000 + i), &value));
+  }
+  size_t seen = 0;
+  index.Scan("", kDoomed + kKept, [&](std::string_view k, std::string_view) {
+    EXPECT_EQ(k.substr(0, 5), "keep-");
+    seen++;
+    return true;
+  });
+  EXPECT_EQ(seen, static_cast<size_t>(kKept));
+}
+
+// Regression: Scan with count == 0 must be a no-op that leaves no leaf lock
+// behind (a leaked shared lock would deadlock the next writer on that leaf).
+TEST(WormholeConcurrent, ZeroCountScanDoesNotLeakLeafLock) {
+  Wormhole index;
+  for (int i = 0; i < 100; i++) {
+    index.Put(ResidentKey(i), "x");
+  }
+  size_t calls = 0;
+  EXPECT_EQ(index.Scan("", 0, [&](std::string_view, std::string_view) {
+    calls++;
+    return true;
+  }), 0u);
+  EXPECT_EQ(calls, 0u);
+  // Writes to the same leaf must still complete.
+  index.Put(ResidentKey(0), "y");
+  std::string value;
+  ASSERT_TRUE(index.Get(ResidentKey(0), &value));
+  EXPECT_EQ(value, "y");
+}
+
 TEST(WormholeConcurrent, ParallelLoadMatchesSerialLoad) {
   Options opt;
   opt.leaf_capacity = 32;
