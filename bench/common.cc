@@ -15,6 +15,7 @@
 #include "src/core/wormhole.h"
 #include "src/cuckoo/cuckoo.h"
 #include "src/masstree/masstree.h"
+#include "src/server/service.h"
 #include "src/skiplist/skiplist.h"
 
 namespace wh {
@@ -70,8 +71,9 @@ class Adapter : public IndexIface {
     index_.Put(key, value);
   }
   bool Delete(std::string_view key) override { return index_.Delete(key); }
-  size_t Scan(std::string_view start, size_t count,
-              const std::function<bool(std::string_view, std::string_view)>& fn) override {
+  size_t Scan(
+      std::string_view start, size_t count,
+      const std::function<bool(std::string_view, std::string_view)>& fn) override {
     if constexpr (std::is_same_v<T, CuckooHash>) {
       (void)start;
       (void)count;
@@ -129,7 +131,8 @@ std::unique_ptr<IndexIface> MakeIndex(const std::string& name) {
     return std::make_unique<Adapter<CuckooHash>>("Cuckoo", 1024);
   }
   if (name == "Wormhole[base]") {
-    return std::make_unique<Adapter<WormholeUnsafe>>("Wormhole[base]", AblationOptions(0));
+    return std::make_unique<Adapter<WormholeUnsafe>>("Wormhole[base]",
+                                                     AblationOptions(0));
   }
   if (name == "Wormhole[+tm]") {
     return std::make_unique<Adapter<WormholeUnsafe>>("Wormhole[+tm]", AblationOptions(1));
@@ -172,8 +175,39 @@ void LoadIndex(IndexIface* index, const std::vector<std::string>& keys) {
   }
 }
 
-double RunThroughput(int threads, double seconds,
-                     const std::function<uint64_t(int, const std::atomic<bool>&)>& worker) {
+std::vector<std::string> SampleKeys(const std::vector<std::string>& keys,
+                                    size_t count) {
+  std::vector<std::string> samples;
+  if (count == 0) {
+    return samples;
+  }
+  for (size_t i = 0; i < keys.size(); i += keys.size() / count + 1) {
+    samples.push_back(keys[i]);
+  }
+  return samples;
+}
+
+void LoadService(Service* service, const std::vector<std::string>& keys) {
+  std::thread loader([&] {
+    QsbrThreadScope qsbr_scope;  // leave every shard domain on the way out
+    std::vector<Request> batch;
+    std::vector<Response> responses;
+    batch.reserve(1024);
+    for (const auto& k : keys) {
+      batch.push_back(Request{Op::kPut, k, std::string("valueval", 8), 0});
+      if (batch.size() == 1024) {
+        service->Execute(batch, &responses);
+        batch.clear();
+      }
+    }
+    service->Execute(batch, &responses);
+  });
+  loader.join();
+}
+
+double RunThroughput(
+    int threads, double seconds,
+    const std::function<uint64_t(int, const std::atomic<bool>&)>& worker) {
   std::atomic<bool> stop{false};
   std::vector<uint64_t> counts(static_cast<size_t>(threads), 0);
   std::vector<std::thread> pool;
@@ -228,7 +262,115 @@ double LookupThroughput(IndexIface* index, const std::vector<std::string>& keys,
   });
 }
 
+namespace {
+
+struct JsonRow {
+  std::string label;
+  std::vector<double> values;
+};
+struct JsonSection {
+  std::string title;
+  std::vector<std::string> cols;
+  std::vector<JsonRow> rows;
+};
+struct BenchOutput {
+  std::string name = "bench";
+  bool json = false;
+  std::vector<JsonSection> sections;
+};
+
+BenchOutput g_bench_output;
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void EmitJson() {
+  const BenchEnv env = GetBenchEnv();
+  std::printf(
+      "{\"bench\":\"%s\",\"env\":{\"scale\":%g,\"threads\":%d,\"seconds\":%g},"
+      "\"sections\":[",
+              JsonEscape(g_bench_output.name).c_str(), env.scale, env.threads,
+              env.seconds);
+  for (size_t s = 0; s < g_bench_output.sections.size(); s++) {
+    const JsonSection& sec = g_bench_output.sections[s];
+    std::printf("%s{\"title\":\"%s\",\"cols\":[", s == 0 ? "" : ",",
+                JsonEscape(sec.title).c_str());
+    for (size_t c = 0; c < sec.cols.size(); c++) {
+      std::printf("%s\"%s\"", c == 0 ? "" : ",", JsonEscape(sec.cols[c]).c_str());
+    }
+    std::printf("],\"rows\":[");
+    for (size_t r = 0; r < sec.rows.size(); r++) {
+      const JsonRow& row = sec.rows[r];
+      std::printf("%s{\"label\":\"%s\",\"values\":[", r == 0 ? "" : ",",
+                  JsonEscape(row.label).c_str());
+      for (size_t v = 0; v < row.values.size(); v++) {
+        const double d = row.values[v];
+        // NaN/inf are not JSON; a broken measurement serializes as null.
+        if (std::isfinite(d)) {
+          std::printf("%s%.6g", v == 0 ? "" : ",", d);
+        } else {
+          std::printf("%snull", v == 0 ? "" : ",");
+        }
+      }
+      std::printf("]}");
+    }
+    std::printf("]}");
+  }
+  std::printf("]}\n");
+}
+
+}  // namespace
+
+bool HasFlag(int argc, char** argv, std::string_view flag) {
+  for (int i = 1; i < argc; i++) {
+    if (std::string_view(argv[i]) == flag) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void BenchInit(const char* bench_name, int argc, char** argv) {
+  g_bench_output.name = bench_name;
+  g_bench_output.json = HasFlag(argc, argv, "--json");
+  if (const char* s = std::getenv("WH_BENCH_JSON")) {
+    if (s[0] != '\0' && s[0] != '0') {
+      g_bench_output.json = true;
+    }
+  }
+  if (g_bench_output.json) {
+    std::atexit(EmitJson);
+  }
+}
+
+bool BenchJsonMode() { return g_bench_output.json; }
+
 void PrintHeader(const std::string& title, const std::vector<std::string>& cols) {
+  if (g_bench_output.json) {
+    g_bench_output.sections.push_back(JsonSection{title, cols, {}});
+    return;
+  }
   std::printf("# %s\n", title.c_str());
   std::printf("%-18s", "index");
   for (const auto& c : cols) {
@@ -238,6 +380,13 @@ void PrintHeader(const std::string& title, const std::vector<std::string>& cols)
 }
 
 void PrintRow(const std::string& label, const std::vector<double>& values) {
+  if (g_bench_output.json) {
+    if (g_bench_output.sections.empty()) {
+      g_bench_output.sections.push_back(JsonSection{"", {}, {}});
+    }
+    g_bench_output.sections.back().rows.push_back(JsonRow{label, values});
+    return;
+  }
   std::printf("%-18s", label.c_str());
   for (const double v : values) {
     std::printf("%10.3f", v);

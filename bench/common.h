@@ -20,12 +20,28 @@
 
 namespace wh {
 
+class Service;  // src/server/service.h; only LoadService callers need it
+
 struct BenchEnv {
   double scale = 0.05;
   int threads = 16;
   double seconds = 0.4;
 };
 BenchEnv GetBenchEnv();
+
+// Machine-readable output: call first in main(). With --json on the command
+// line (or WH_BENCH_JSON=1) the table printers below collect instead of
+// print, and one JSON document — {"bench", "env", "sections": [{"title",
+// "cols", "rows": [{"label", "values"}]}]} — is written to stdout when the
+// process exits (scripts/bench_snapshot.sh aggregates these into
+// BENCH_<date>.json). Without the flag, behavior is unchanged. The table
+// printers are main-thread-only either way.
+void BenchInit(const char* bench_name, int argc, char** argv);
+bool BenchJsonMode();
+
+// True when `flag` appears anywhere in argv (position-independent, so bench
+// flags compose with --json in any order).
+bool HasFlag(int argc, char** argv, std::string_view flag);
 
 // Uniform runtime interface over all indexes (virtual dispatch costs ~2 ns/op,
 // equal for every index, irrelevant to the relative shapes we reproduce).
@@ -55,6 +71,19 @@ const std::vector<std::string>& GetKeyset(KeysetId id, double scale);
 
 // Loads all keys (value = 8-byte payload as in the paper's index-only focus).
 void LoadIndex(IndexIface* index, const std::vector<std::string>& keys);
+
+// Evenly strided sample of at most ~`count` keys, the shared input to
+// ShardRouter::FromSamples — one sampling policy across the service benches
+// keeps their shard layouts comparable.
+std::vector<std::string> SampleKeys(const std::vector<std::string>& keys,
+                                    size_t count);
+
+// Loads all keys into the sharded service through batched Put requests. Runs
+// on a scoped worker thread so the calling thread never joins the shards'
+// QSBR domains at all — RunThroughput's coordinator does quiesce every
+// domain it joined (QsbrQuiesce), but staying out of them entirely keeps
+// shard reclamation independent of the coordinator's cadence.
+void LoadService(Service* service, const std::vector<std::string>& keys);
 
 // Runs `worker(thread_id, stop_flag)` on `threads` threads for `seconds`; each
 // worker returns its operation count. Returns million-operations-per-second.

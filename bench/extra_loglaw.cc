@@ -50,6 +50,7 @@ int main() {
     const auto keys = wh::GenerateFixedLenKeyset(n, 64, /*zero_filled=*/true, 4);
     std::printf("%-10zu %10.2f\n", n, AvgProbes(keys));
   }
-  std::printf("\n(Paper claim: lookup cost O(log min(L_anc, L_key)), independent of N.)\n");
+  std::printf(
+      "\n(Paper claim: lookup cost O(log min(L_anc, L_key)), independent of N.)\n");
   return 0;
 }

@@ -6,7 +6,8 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  wh::BenchInit("fig09_scalability", argc, argv);
   const wh::BenchEnv env = wh::GetBenchEnv();
   const auto& keys = wh::GetKeyset(wh::KeysetId::kAz1, env.scale);
 
@@ -42,7 +43,8 @@ int main() {
   }
   // The paper's headline claim (near-linear read scalability) as one number:
   // aggregate throughput at the highest thread count relative to one thread.
-  if (wormhole_row.size() >= 2 && wormhole_row.front() > 0.0) {
+  // (Prose, so it stays out of the machine-readable JSON document.)
+  if (!wh::BenchJsonMode() && wormhole_row.size() >= 2 && wormhole_row.front() > 0.0) {
     std::printf("# Wormhole scaling: %.2fx at %dT vs 1T\n",
                 wormhole_row.back() / wormhole_row.front(),
                 thread_counts.back());

@@ -4,7 +4,8 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  wh::BenchInit("fig10_lookup", argc, argv);
   const wh::BenchEnv env = wh::GetBenchEnv();
   std::vector<std::string> cols;
   for (const wh::KeysetId id : wh::kAllKeysets) {

@@ -2,13 +2,13 @@
 // BaseWormhole (B+ tree shown as the baseline): +TagMatching, +IncHashing,
 // +SortByTag, +DirectPos. Pass --extra to also report the paper's future-work
 // split-point heuristic (Options::split_shortest_anchor).
-#include <cstring>
 #include <vector>
 
 #include "bench/common.h"
 
 int main(int argc, char** argv) {
-  const bool extra = argc > 1 && std::strcmp(argv[1], "--extra") == 0;
+  wh::BenchInit("fig11_ablation", argc, argv);
+  const bool extra = wh::HasFlag(argc, argv, "--extra");
   const wh::BenchEnv env = wh::GetBenchEnv();
   std::vector<std::string> cols;
   for (const wh::KeysetId id : wh::kAllKeysets) {

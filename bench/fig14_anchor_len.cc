@@ -5,7 +5,8 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  wh::BenchInit("fig14_anchor_len", argc, argv);
   const wh::BenchEnv env = wh::GetBenchEnv();
   const size_t lengths[] = {8, 16, 32, 64, 128, 256, 512};
   // Paper: 10M keys per keyset; proportionally scaled with a 50k floor.
@@ -16,8 +17,8 @@ int main() {
   for (const size_t len : lengths) {
     cols.push_back(std::to_string(len) + "B");
   }
-  wh::PrintHeader("Fig. 14: lookup MOPS vs key length, Kshort (random) / Klong (0-filled)",
-                  cols);
+  wh::PrintHeader(
+      "Fig. 14: lookup MOPS vs key length, Kshort (random) / Klong (0-filled)", cols);
   struct Variant {
     const char* index;
     bool zero_filled;

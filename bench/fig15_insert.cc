@@ -5,7 +5,8 @@
 #include "bench/common.h"
 #include "src/common/timing.h"
 
-int main() {
+int main(int argc, char** argv) {
+  wh::BenchInit("fig15_insert", argc, argv);
   const wh::BenchEnv env = wh::GetBenchEnv();
   std::vector<std::string> cols;
   for (const wh::KeysetId id : wh::kAllKeysets) {

@@ -5,7 +5,8 @@
 
 #include "bench/common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  wh::BenchInit("fig16_memory", argc, argv);
   const wh::BenchEnv env = wh::GetBenchEnv();
   std::vector<std::string> cols;
   for (const wh::KeysetId id : wh::kAllKeysets) {

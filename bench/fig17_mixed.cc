@@ -35,7 +35,8 @@ double MixedThroughput(wh::IndexIface* index, const std::vector<std::string>& ke
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  wh::BenchInit("fig17_mixed", argc, argv);
   const wh::BenchEnv env = wh::GetBenchEnv();
   std::vector<std::string> cols;
   for (const wh::KeysetId id : wh::kAllKeysets) {

@@ -1,7 +1,6 @@
 // Fig. 18: range-lookup throughput — seek to a random key and scan the following
 // (up to) 100 keys. ART is omitted exactly as in the paper (its reference
 // implementation has no range scan; ours does, shown with --with-art).
-#include <cstring>
 #include <vector>
 
 #include "bench/common.h"
@@ -32,7 +31,8 @@ double RangeThroughput(wh::IndexIface* index, const std::vector<std::string>& ke
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool with_art = argc > 1 && std::strcmp(argv[1], "--with-art") == 0;
+  wh::BenchInit("fig18_range", argc, argv);
+  const bool with_art = wh::HasFlag(argc, argv, "--with-art");
   const wh::BenchEnv env = wh::GetBenchEnv();
   std::vector<std::string> cols;
   for (const wh::KeysetId id : wh::kAllKeysets) {

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Perf-trajectory snapshot: runs the smoke-scale configs of fig09 (read
+# scalability), fig10 (lookup by keyset), and service_mixed (the full sharded
+# service stack) with --json and writes one aggregated BENCH_<date>.json in
+# the repo root. Each PR can leave a snapshot behind, so the next one has a
+# machine-readable baseline to diff against. Absolute numbers are only
+# comparable on the same hardware — the snapshot records nproc for that
+# reason; shapes (scaling ratios, keyset ordering) travel better.
+#
+#   scripts/bench_snapshot.sh [outfile]     # default: BENCH_<YYYYMMDD>.json
+#
+# Env overrides: WH_BENCH_SCALE / WH_BENCH_THREADS / WH_BENCH_SECONDS (smoke
+# defaults below keep the whole run under ~2 minutes), BUILD_DIR (default
+# "build").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${1:-BENCH_$(date +%Y%m%d).json}"
+BENCHES=(fig09_scalability fig10_lookup service_mixed)
+
+export WH_BENCH_SCALE="${WH_BENCH_SCALE:-0.01}"
+export WH_BENCH_THREADS="${WH_BENCH_THREADS:-2}"
+export WH_BENCH_SECONDS="${WH_BENCH_SECONDS:-0.1}"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${BENCHES[@]}" >/dev/null
+
+# Assemble in a temp file and move into place only after validation, so a
+# truncated bench run never leaves a broken baseline behind.
+TMP="$(mktemp "$OUT.XXXXXX")"
+trap 'rm -f "$TMP"' EXIT
+{
+  printf '{"date":"%s","nproc":%s,"scale":%s,"threads":%s,"seconds":%s,"benches":[' \
+    "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$(nproc)" \
+    "$WH_BENCH_SCALE" "$WH_BENCH_THREADS" "$WH_BENCH_SECONDS"
+  sep=""
+  for bench in "${BENCHES[@]}"; do
+    printf '%s' "$sep"
+    sep=","
+    "$BUILD_DIR/$bench" --json
+  done
+  printf ']}\n'
+} >"$TMP"
+
+if command -v jq >/dev/null 2>&1; then
+  jq empty "$TMP"
+elif command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool "$TMP" >/dev/null
+else
+  echo "warning: neither jq nor python3 found; $OUT was NOT validated" >&2
+fi
+mv "$TMP" "$OUT"
+trap - EXIT
+echo "wrote $OUT"

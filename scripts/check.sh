@@ -1,10 +1,16 @@
 #!/usr/bin/env bash
 # Tier-1 verify plus sanitizer passes: AddressSanitizer over everything and
-# ThreadSanitizer over the concurrency-sensitive tests (QSBR + the concurrent
-# Wormhole), which exercise the lock-free lookup / per-leaf-lock write paths.
+# ThreadSanitizer over the concurrency-sensitive tests (QSBR, the concurrent
+# Wormhole, and the sharded service), which exercise the lock-free lookup /
+# per-leaf-lock write paths.
 #
-#   scripts/check.sh          # release + full ctest, then ASan, then TSan
-#   scripts/check.sh --fast   # release build + unit-labeled tests only
+#   scripts/check.sh                  # release + full ctest, ASan, TSan, format
+#   scripts/check.sh --fast           # release unit tests only (no bench builds)
+#   scripts/check.sh --ci             # non-interactive; per-stage timing lines
+#   scripts/check.sh --stage <name>   # one stage: release|asan|tsan|format|all
+#
+# The CI matrix (.github/workflows/ci.yml) runs one --stage per job so the
+# three sanitizer configs build and cache independently.
 #
 # ctest labels: "unit" (fast, deterministic) and "smoke" (multithreaded +
 # bench end-to-end runs). Filter with: ctest -L unit / ctest -L smoke.
@@ -12,33 +18,115 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FAST=0
-if [[ "${1:-}" == "--fast" ]]; then
-  FAST=1
-fi
+CI=0
+STAGE=all
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --fast) FAST=1 ;;
+    --ci) CI=1 ;;
+    --stage)
+      STAGE="${2:?--stage needs release|asan|tsan|format|all}"
+      shift
+      ;;
+    *)
+      echo "unknown option: $1" >&2
+      exit 2
+      ;;
+  esac
+  shift
+done
 
-echo "=== tier-1: configure + build ==="
-cmake -B build -S . >/dev/null
-cmake --build build -j "$(nproc)"
+JOBS="$(nproc)"
+# Everything ctest runs here is also run by CI; -j matches the tier-1 verify.
+CTEST_FLAGS=(--output-on-failure -j "$JOBS")
+# --fast runs only unit tests, so it must not pay for the 13 bench binaries.
+TEST_TARGETS=(test_index_correctness test_qsbr test_keysets test_service
+              test_wormhole_concurrent)
 
-echo "=== tier-1: ctest ==="
-if [[ "$FAST" == 1 ]]; then
-  ctest --test-dir build --output-on-failure -L unit
-  exit 0
-fi
-ctest --test-dir build --output-on-failure
+STAGE_T0=0
+stage_begin() {
+  echo "=== $1 ==="
+  STAGE_T0=$SECONDS
+}
+stage_end() {
+  if [[ "$CI" == 1 ]]; then
+    echo "--- stage '$1': $((SECONDS - STAGE_T0))s"
+  fi
+}
 
-echo "=== asan: configure + build ==="
-cmake -B build-asan -S . -DWH_ASAN=ON >/dev/null
-cmake --build build-asan -j "$(nproc)"
+run_release() {
+  stage_begin "release: configure + build"
+  cmake -B build -S . >/dev/null
+  if [[ "$FAST" == 1 ]]; then
+    cmake --build build -j "$JOBS" --target "${TEST_TARGETS[@]}"
+  else
+    cmake --build build -j "$JOBS"
+  fi
+  stage_end "release build"
+  stage_begin "release: ctest"
+  if [[ "$FAST" == 1 ]]; then
+    ctest --test-dir build "${CTEST_FLAGS[@]}" -L unit
+  else
+    ctest --test-dir build "${CTEST_FLAGS[@]}"
+  fi
+  stage_end "release ctest"
+}
 
-echo "=== asan: ctest (unit + concurrent smoke) ==="
-ctest --test-dir build-asan --output-on-failure -R 'test_'
+run_asan() {
+  stage_begin "asan: configure + build"
+  cmake -B build-asan -S . -DWH_ASAN=ON >/dev/null
+  cmake --build build-asan -j "$JOBS" --target "${TEST_TARGETS[@]}"
+  stage_end "asan build"
+  stage_begin "asan: ctest (unit + concurrent smoke)"
+  ctest --test-dir build-asan "${CTEST_FLAGS[@]}" -R 'test_'
+  stage_end "asan ctest"
+}
 
-echo "=== tsan: configure + build ==="
-cmake -B build-tsan -S . -DWH_TSAN=ON >/dev/null
-cmake --build build-tsan -j "$(nproc)"
+run_tsan() {
+  stage_begin "tsan: configure + build"
+  cmake -B build-tsan -S . -DWH_TSAN=ON >/dev/null
+  cmake --build build-tsan -j "$JOBS" --target "${TEST_TARGETS[@]}"
+  stage_end "tsan build"
+  stage_begin "tsan: ctest (concurrent tests)"
+  ctest --test-dir build-tsan "${CTEST_FLAGS[@]}" \
+    -R 'test_(wormhole_concurrent|qsbr|service)'
+  stage_end "tsan ctest"
+}
 
-echo "=== tsan: ctest (concurrent tests) ==="
-ctest --test-dir build-tsan --output-on-failure -R 'test_(wormhole_concurrent|qsbr)'
+run_format() {
+  stage_begin "format: clang-format --dry-run over src/ tests/ bench/"
+  if ! command -v clang-format >/dev/null 2>&1; then
+    if [[ "$CI" == 1 ]]; then
+      echo "clang-format not installed but required in CI" >&2
+      exit 1
+    fi
+    echo "clang-format not installed; skipping format check"
+    stage_end "format"
+    return 0
+  fi
+  find src tests bench \( -name '*.h' -o -name '*.cc' \) -print0 |
+    xargs -0 clang-format --dry-run -Werror
+  stage_end "format"
+}
+
+case "$STAGE" in
+  release) run_release ;;
+  asan) run_asan ;;
+  tsan) run_tsan ;;
+  format) run_format ;;
+  all)
+    run_release
+    if [[ "$FAST" == 1 ]]; then
+      exit 0
+    fi
+    run_asan
+    run_tsan
+    run_format
+    ;;
+  *)
+    echo "unknown stage '$STAGE' (release|asan|tsan|format|all)" >&2
+    exit 2
+    ;;
+esac
 
 echo "All checks passed."

@@ -56,9 +56,11 @@ void BPlusTree::SplitChild(BNode* parent, size_t idx) {
   if (left->is_leaf) {
     const size_t mid = n / 2;
     separator = left->keys[mid];
-    right->keys.assign(std::make_move_iterator(left->keys.begin() + static_cast<ptrdiff_t>(mid)),
+    const auto kmid = left->keys.begin() + static_cast<ptrdiff_t>(mid);
+    const auto vmid = left->values.begin() + static_cast<ptrdiff_t>(mid);
+    right->keys.assign(std::make_move_iterator(kmid),
                        std::make_move_iterator(left->keys.end()));
-    right->values.assign(std::make_move_iterator(left->values.begin() + static_cast<ptrdiff_t>(mid)),
+    right->values.assign(std::make_move_iterator(vmid),
                          std::make_move_iterator(left->values.end()));
     left->keys.resize(mid);
     left->values.resize(mid);
@@ -67,7 +69,8 @@ void BPlusTree::SplitChild(BNode* parent, size_t idx) {
   } else {
     const size_t mid = n / 2;  // keys[mid] moves up
     separator = std::move(left->keys[mid]);
-    right->keys.assign(std::make_move_iterator(left->keys.begin() + static_cast<ptrdiff_t>(mid) + 1),
+    const auto kmid = left->keys.begin() + static_cast<ptrdiff_t>(mid) + 1;
+    right->keys.assign(std::make_move_iterator(kmid),
                        std::make_move_iterator(left->keys.end()));
     right->children.assign(left->children.begin() + static_cast<ptrdiff_t>(mid) + 1,
                            left->children.end());

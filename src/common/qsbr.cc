@@ -4,13 +4,79 @@
 #include <cstdio>
 #include <cstdlib>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 namespace wh {
 
+namespace {
+
+// Live-domain registry. Thread-exit cleanup must not call back into a domain
+// that was already destroyed (a service shard torn down while a client thread
+// lives on), so domains check in at construction and out at destruction, and
+// the per-thread cleanup consults the registry under its mutex before
+// unregistering. Both are function-local statics first touched from a Qsbr
+// constructor, so they are destroyed after every domain, including Default().
+std::mutex& LiveDomainsMu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::unordered_set<uint64_t>& LiveDomains() {
+  static std::unordered_set<uint64_t> live;
+  return live;
+}
+
+uint64_t NewDomainId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+// One cache entry per (thread, domain) pair the thread has lazily joined.
+struct DomainEntry {
+  Qsbr* domain;
+  uint64_t id;
+  Qsbr::Slot* slot;
+};
+
+// The thread's domain list; the destructor runs at thread exit (for the main
+// thread: before static destruction), so a dead thread never blocks grace
+// periods in any domain that is still alive.
+struct TlsDomains {
+  std::vector<DomainEntry> entries;
+  ~TlsDomains() { ReleaseAll(); }
+  void ReleaseAll() {
+    for (const DomainEntry& e : entries) {
+      // Holding the registry mutex across the liveness check and the
+      // unregistration pins the domain: ~Qsbr removes the id under the same
+      // mutex before tearing anything down.
+      std::lock_guard<std::mutex> g(LiveDomainsMu());
+      if (LiveDomains().count(e.id) != 0) {
+        e.domain->Quiesce(e.slot);
+        e.domain->UnregisterThread(e.slot);
+      }
+    }
+    entries.clear();
+  }
+};
+
+thread_local TlsDomains tls_domains;
+
+}  // namespace
+
+Qsbr::Qsbr() : id_(NewDomainId()) {
+  std::lock_guard<std::mutex> g(LiveDomainsMu());
+  LiveDomains().insert(id_);
+}
+
 Qsbr::~Qsbr() {
-  // No threads may be inside a read-side critical section at destruction
-  // (static destruction order: the process is single-threaded by now).
+  {
+    std::lock_guard<std::mutex> g(LiveDomainsMu());
+    LiveDomains().erase(id_);
+  }
+  // No threads may be inside a read-side critical section at destruction; any
+  // slots still registered belong to threads that will notice the dead domain
+  // at their own exit and skip it.
   for (const Retired& r : retired_) {
     r.deleter(r.p);
   }
@@ -109,42 +175,48 @@ size_t Qsbr::pending() const {
   return retired_.size();
 }
 
-namespace {
-
-// One lazy registration with the Default() instance per thread; the
-// destructor runs at thread exit, so a dead thread never blocks grace
-// periods.
-struct TlsRegistration {
-  Qsbr::Slot* slot = nullptr;
-  ~TlsRegistration() {
-    if (slot != nullptr) {
-      Qsbr::Default().UnregisterThread(slot);
-      slot = nullptr;
+Qsbr::Slot* Qsbr::CurrentSlot() {
+  for (const DomainEntry& e : tls_domains.entries) {
+    if (e.domain == this && e.id == id_) {
+      return e.slot;
     }
   }
-};
-
-thread_local TlsRegistration tls_registration;
-
-}  // namespace
-
-Qsbr::Slot* QsbrCurrentSlot() {
-  if (tls_registration.slot == nullptr) {
-    tls_registration.slot = Qsbr::Default().RegisterThread();
+  // Slow path (once per thread per domain): drop entries for domains that
+  // have since died, so a long-lived thread outliving many domains (e.g. a
+  // test loop creating services) keeps its list — and the scan above — short.
+  {
+    std::lock_guard<std::mutex> g(LiveDomainsMu());
+    auto& entries = tls_domains.entries;
+    entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                 [](const DomainEntry& e) {
+                                   return LiveDomains().count(e.id) == 0;
+                                 }),
+                  entries.end());
   }
-  return tls_registration.slot;
+  Slot* slot = RegisterThread();
+  tls_domains.entries.push_back(DomainEntry{this, id_, slot});
+  return slot;
 }
 
-void QsbrQuiesce() { Qsbr::Default().Quiesce(QsbrCurrentSlot()); }
+Qsbr::Slot* QsbrCurrentSlot() { return Qsbr::Default().CurrentSlot(); }
+
+void QsbrQuiesce() {
+  QsbrCurrentSlot();  // the default domain is joined on first call
+  // Quiesce every domain this thread has joined, not just Default(): a
+  // coordinator that touched a sharded service and then settles into a
+  // quiesce-periodically loop must not pin any shard's grace period. The
+  // registry mutex spans the liveness check and the store, pinning each
+  // domain against concurrent destruction (same protocol as ReleaseAll).
+  std::lock_guard<std::mutex> g(LiveDomainsMu());
+  for (const DomainEntry& e : tls_domains.entries) {
+    if (LiveDomains().count(e.id) != 0) {
+      e.domain->Quiesce(e.slot);
+    }
+  }
+}
 
 QsbrThreadScope::QsbrThreadScope() { QsbrCurrentSlot(); }
 
-QsbrThreadScope::~QsbrThreadScope() {
-  if (tls_registration.slot != nullptr) {
-    Qsbr::Default().Quiesce(tls_registration.slot);
-    Qsbr::Default().UnregisterThread(tls_registration.slot);
-    tls_registration.slot = nullptr;
-  }
-}
+QsbrThreadScope::~QsbrThreadScope() { tls_domains.ReleaseAll(); }
 
 }  // namespace wh

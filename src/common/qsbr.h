@@ -28,6 +28,16 @@
 //     reclamation (memory accrues; nothing is freed prematurely).
 //   - Before destroying an index, every other thread must have quiesced or
 //     unregistered; the destructor drains the deferred-free list.
+//
+// Domains: Qsbr is instantiable, and each instance is an independent
+// reclamation domain — a slow reader in one domain never stalls another
+// domain's grace periods. The sharded service (src/server) gives every shard
+// its own domain. Default() remains the process-wide domain used by bare
+// Wormhole instances. CurrentSlot() registers the calling thread in *this*
+// domain lazily and unregisters it at thread exit; destroying a domain before
+// its threads exit is safe (thread-exit cleanup recognizes dead domains), but
+// the domain must not be destroyed while any thread is still operating on a
+// structure it protects.
 #ifndef WH_SRC_COMMON_QSBR_H_
 #define WH_SRC_COMMON_QSBR_H_
 
@@ -52,7 +62,7 @@ class Qsbr {
     std::atomic<uint32_t> state{0};
   };
 
-  Qsbr() = default;
+  Qsbr();
   ~Qsbr();
   Qsbr(const Qsbr&) = delete;
   Qsbr& operator=(const Qsbr&) = delete;
@@ -66,6 +76,13 @@ class Qsbr {
   Slot* RegisterThread();
   // The thread must hold no references into any protected structure.
   void UnregisterThread(Slot* slot);
+
+  // The calling thread's slot in this domain: registered lazily on first use,
+  // cached thread-locally (steady state is a scan of the thread's short
+  // domain list), unregistered automatically at thread exit. Domain ids are
+  // never reused, so a cached entry for a destroyed domain can never be
+  // mistaken for a live one.
+  Slot* CurrentSlot();
 
   // Reports a quiescent state: the owning thread holds no references.
   void Quiesce(Slot* slot) {
@@ -103,6 +120,7 @@ class Qsbr {
     uint64_t tag;
   };
 
+  const uint64_t id_;  // unique per instance, never reused
   std::atomic<uint64_t> global_epoch_{1};
   Slot slots_[kMaxThreads];
   std::atomic<size_t> slot_high_water_{0};  // scan bound for TryReclaim
@@ -113,13 +131,17 @@ class Qsbr {
 };
 
 // Default()-instance conveniences. The calling thread is registered lazily on
-// first use and unregistered automatically at thread exit.
+// first use and unregistered automatically at thread exit. QsbrQuiesce()
+// reports a quiescent state in *every* live domain the thread has joined
+// (default and shard domains alike), so a periodic-quiesce loop never pins
+// any domain's grace period.
 Qsbr::Slot* QsbrCurrentSlot();
 void QsbrQuiesce();
 
-// RAII per-thread registration for thread pools / bench workers: registers on
-// construction, quiesces and unregisters on destruction (so a finished worker
-// never stalls reclamation for the rest of the process).
+// RAII per-thread registration for thread pools / bench workers: registers
+// with the default domain on construction; on destruction quiesces and
+// unregisters the thread from *every* domain it lazily joined (so a finished
+// worker never stalls reclamation in any shard or in the default domain).
 class QsbrThreadScope {
  public:
   QsbrThreadScope();

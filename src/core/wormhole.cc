@@ -21,13 +21,14 @@ uint32_t HashPrefix(std::string_view prefix) {
 
 uint16_t TagOf(uint32_t hash) { return static_cast<uint16_t>(hash >> 16); }
 
-// Registers the calling thread with QSBR before any shared pointer is loaded
-// (so concurrent reclaimers account for it) and reports a quiescent state on
-// the way out of the operation.
+// Registers the calling thread with the index's QSBR domain before any shared
+// pointer is loaded (so concurrent reclaimers account for it) and reports a
+// quiescent state on the way out of the operation.
 struct QsbrOp {
+  Qsbr* qsbr;
   Qsbr::Slot* slot;
-  QsbrOp() : slot(QsbrCurrentSlot()) {}
-  ~QsbrOp() { Qsbr::Default().Quiesce(slot); }
+  explicit QsbrOp(Qsbr* q) : qsbr(q), slot(q->CurrentSlot()) {}
+  ~QsbrOp() { qsbr->Quiesce(slot); }
 };
 
 }  // namespace
@@ -312,7 +313,8 @@ void WormholeUnsafe::SplitLeaf(Leaf* left) {
 
   Leaf* right = new Leaf;
   right->anchor = std::move(anchor);
-  right->slots.assign(std::make_move_iterator(sorted.begin() + static_cast<ptrdiff_t>(si)),
+  const auto smid = sorted.begin() + static_cast<ptrdiff_t>(si);
+  right->slots.assign(std::make_move_iterator(smid),
                       std::make_move_iterator(sorted.end()));
   sorted.resize(si);
   left->slots = std::move(sorted);
@@ -523,7 +525,7 @@ struct Wormhole::Table {
   }
 };
 
-Wormhole::Wormhole(const Options& opt) : opt_(opt) {
+Wormhole::Wormhole(const Options& opt, Qsbr* qsbr) : opt_(opt), qsbr_(qsbr) {
   if (opt_.leaf_capacity < 4) {
     opt_.leaf_capacity = 4;
   } else if (opt_.leaf_capacity > 4096) {
@@ -561,14 +563,14 @@ Wormhole::~Wormhole() {
     delete l;
     l = next;
   }
-  QsbrQuiesce();
-  // Bounded drain of the shared QSBR instance: reclaim while making progress.
-  // With this index's threads quiesced (the contract), everything it retired
-  // is freed here; anything still blocked belongs to *other* live indexes or
-  // stale registrants, and spinning on it (Qsbr::Drain) could hang this
-  // destructor on state it does not own. Leftovers are freed by later
-  // reclaims or by ~Qsbr at process exit.
-  while (Qsbr::Default().TryReclaim() > 0) {
+  qsbr_->Quiesce(qsbr_->CurrentSlot());
+  // Bounded drain of the domain: reclaim while making progress. With this
+  // index's threads quiesced (the contract), everything it retired is freed
+  // here; anything still blocked belongs to *other* indexes sharing the
+  // domain or to stale registrants, and spinning on it (Qsbr::Drain) could
+  // hang this destructor on state it does not own. Leftovers are freed by
+  // later reclaims or by ~Qsbr.
+  while (qsbr_->TryReclaim() > 0) {
   }
 }
 
@@ -746,7 +748,7 @@ Wormhole::Leaf* Wormhole::AcquireLeaf(std::string_view key, Mode mode) {
 // --- public concurrent API -------------------------------------------------
 
 bool Wormhole::Get(std::string_view key, std::string* value) {
-  QsbrOp op;
+  QsbrOp op(qsbr_);
   Leaf* leaf = AcquireLeaf(key, Mode::kShared);
   const int slot = leafops::FindSlot(leaf, opt_.direct_pos, key);
   const bool found = slot >= 0;
@@ -757,8 +759,74 @@ bool Wormhole::Get(std::string_view key, std::string* value) {
   return found;
 }
 
+size_t Wormhole::MultiGet(const std::vector<std::string_view>& keys,
+                          std::vector<std::string>* values,
+                          std::vector<uint8_t>* hits) {
+  values->resize(keys.size());
+  hits->assign(keys.size(), 0);
+  QsbrOp op(qsbr_);
+  Leaf* leaf = nullptr;  // held in shared mode while non-null
+  size_t found = 0;
+  for (size_t i = 0; i < keys.size(); i++) {
+    const std::string_view key = keys[i];
+    // Covers() is exactly the validation AcquireLeaf would redo; holding the
+    // shared lock keeps the leaf's range (and liveness) stable, so a covered
+    // key can be served without re-walking the MetaTrieHT.
+    if (leaf == nullptr || !Covers(leaf, key)) {
+      if (leaf != nullptr) {
+        leaf->lock.unlock_shared();
+      }
+      leaf = AcquireLeaf(key, Mode::kShared);
+    }
+    const int slot = leafops::FindSlot(leaf, opt_.direct_pos, key);
+    if (slot >= 0) {
+      (*values)[i].assign(leaf->slots[static_cast<size_t>(slot)].value);
+      (*hits)[i] = 1;
+      found++;
+    } else {
+      (*values)[i].clear();
+    }
+  }
+  if (leaf != nullptr) {
+    leaf->lock.unlock_shared();
+  }
+  return found;
+}
+
+void Wormhole::MultiPut(
+    const std::vector<std::pair<std::string_view, std::string_view>>& items) {
+  QsbrOp op(qsbr_);
+  Leaf* leaf = nullptr;  // held exclusively while non-null
+  for (const auto& [key, value] : items) {
+    if (leaf == nullptr || !Covers(leaf, key)) {
+      if (leaf != nullptr) {
+        leaf->lock.unlock();
+      }
+      leaf = AcquireLeaf(key, Mode::kExclusive);
+    }
+    const int slot = leafops::FindSlot(leaf, opt_.direct_pos, key);
+    if (slot >= 0) {
+      leaf->slots[static_cast<size_t>(slot)].value.assign(value);
+      continue;
+    }
+    if (leaf->slots.size() < opt_.leaf_capacity) {
+      leafops::Insert(leaf, opt_.direct_pos, key, value);
+      item_count_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    // Full leaf: drop the cached lock (PutSlow serializes on meta_mu_ and
+    // must never run with a leaf lock held) and take the split path.
+    leaf->lock.unlock();
+    leaf = nullptr;
+    PutSlow(key, value);
+  }
+  if (leaf != nullptr) {
+    leaf->lock.unlock();
+  }
+}
+
 void Wormhole::Put(std::string_view key, std::string_view value) {
-  QsbrOp op;
+  QsbrOp op(qsbr_);
   Leaf* leaf = AcquireLeaf(key, Mode::kExclusive);
   const int slot = leafops::FindSlot(leaf, opt_.direct_pos, key);
   if (slot >= 0) {
@@ -799,7 +867,7 @@ void Wormhole::PutSlow(std::string_view key, std::string_view value) {
 }
 
 bool Wormhole::Delete(std::string_view key) {
-  QsbrOp op;
+  QsbrOp op(qsbr_);
   Leaf* leaf = AcquireLeaf(key, Mode::kExclusive);
   const int slot = leafops::FindSlot(leaf, opt_.direct_pos, key);
   if (slot < 0) {
@@ -839,7 +907,7 @@ size_t Wormhole::Scan(std::string_view start, size_t count, const ScanFn& fn) {
   if (count == 0) {
     return 0;  // never acquire a lock the loop below would not release
   }
-  QsbrOp op;
+  QsbrOp op(qsbr_);
   size_t emitted = 0;
   bool stopped = false;
   std::string resume(start);
@@ -897,7 +965,7 @@ void Wormhole::InsertEntry(uint32_t hash, Node* node) {
   }
   slot.store(nb, std::memory_order_release);
   if (old != nullptr) {
-    Qsbr::Default().Retire(old);
+    qsbr_->Retire(old);
   }
 }
 
@@ -915,7 +983,7 @@ void Wormhole::RemoveEntry(uint32_t hash, Node* node) {
   }
   assert(nb->size() + 1 == old->size() && "MetaTrieHT entry missing on removal");
   slot.store(nb, std::memory_order_release);
-  Qsbr::Default().Retire(old);
+  qsbr_->Retire(old);
 }
 
 void Wormhole::MaybeGrowTable() {
@@ -946,10 +1014,10 @@ void Wormhole::MaybeGrowTable() {
   for (auto& bp : t->buckets) {
     Bucket* b = bp.load(std::memory_order_relaxed);
     if (b != nullptr) {
-      Qsbr::Default().Retire(b);
+      qsbr_->Retire(b);
     }
   }
-  Qsbr::Default().Retire(t);
+  qsbr_->Retire(t);
 }
 
 void Wormhole::InsertAnchor(const std::string& anchor, Leaf* leaf) {
@@ -1008,7 +1076,8 @@ void Wormhole::SplitAndInsert(Leaf* left, std::string_view key,
   const size_t si = leafops::ChooseSplitIndex(sorted, opt_.split_shortest_anchor);
   Leaf* right = new Leaf(sorted[si].key.substr(
       0, leafops::SeparatorLen(sorted[si - 1].key, sorted[si].key)));
-  right->slots.assign(std::make_move_iterator(sorted.begin() + static_cast<ptrdiff_t>(si)),
+  const auto smid = sorted.begin() + static_cast<ptrdiff_t>(si);
+  right->slots.assign(std::make_move_iterator(smid),
                       std::make_move_iterator(sorted.end()));
   sorted.resize(si);
   left->slots = std::move(sorted);
@@ -1070,7 +1139,7 @@ void Wormhole::RemoveLeafLocked(Leaf* leaf) {
       node_count_--;
       Node* parent = LookupNode(t, states[d - 1], std::string_view(a.data(), d - 1));
       parent->ClearChild(static_cast<uint8_t>(a[d - 1]));
-      Qsbr::Default().Retire(n);
+      qsbr_->Retire(n);
     } else {
       if (d == a.size()) {
         n->has_terminal.store(false, std::memory_order_release);
@@ -1093,7 +1162,7 @@ void Wormhole::RemoveLeafLocked(Leaf* leaf) {
   // The leaf is unreachable for new readers; in-flight ones still holding it
   // see the odd version and retry. Freed after the grace period (the caller's
   // own quiescent report comes after it releases leaf->lock).
-  Qsbr::Default().Retire(leaf);
+  qsbr_->Retire(leaf);
 }
 
 // --- accounting ------------------------------------------------------------

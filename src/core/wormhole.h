@@ -66,8 +66,10 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
+#include "src/common/qsbr.h"
 #include "src/common/scan.h"
 
 namespace wh {
@@ -184,7 +186,11 @@ class WormholeUnsafe {
 class Wormhole {
  public:
   Wormhole() : Wormhole(Options()) {}
-  explicit Wormhole(const Options& opt);
+  // `qsbr` is the reclamation domain this index retires into; all threads
+  // operating on the index participate in it. The default is the process-wide
+  // domain; a sharded deployment (src/server) gives each shard its own so one
+  // shard's slow readers never stall another's reclamation.
+  explicit Wormhole(const Options& opt, Qsbr* qsbr = &Qsbr::Default());
   ~Wormhole();
   Wormhole(const Wormhole&) = delete;
   Wormhole& operator=(const Wormhole&) = delete;
@@ -193,6 +199,20 @@ class Wormhole {
   void Put(std::string_view key, std::string_view value);
   bool Delete(std::string_view key);
   size_t Scan(std::string_view start, size_t count, const ScanFn& fn);
+
+  // Batched point lookups. values and hits are resized to keys.size(); on a
+  // miss the value slot is cleared and the hit byte is 0. The whole batch
+  // runs under one quiescent-state report, and consecutive keys that fall in
+  // the same leaf reuse the held leaf lock instead of re-walking the
+  // MetaTrieHT — sorted batches maximize the reuse. Returns the hit count.
+  size_t MultiGet(const std::vector<std::string_view>& keys,
+                  std::vector<std::string>* values, std::vector<uint8_t>* hits);
+
+  // Batched Put with the same amortization: one quiescent-state report for
+  // the batch, and consecutive keys hitting the same leaf reuse the held
+  // exclusive lock (a Put that needs a split falls back to the slow path).
+  void MultiPut(
+      const std::vector<std::pair<std::string_view, std::string_view>>& items);
 
   uint64_t MemoryBytes() const;
   size_t size() const { return item_count_.load(std::memory_order_relaxed); }
@@ -238,6 +258,7 @@ class Wormhole {
   bool DeleteSlow(std::string_view key);
 
   Options opt_;
+  Qsbr* qsbr_;  // reclamation domain; not owned
   std::atomic<Table*> table_{nullptr};
   Node* root_ = nullptr;  // never removed (anchor "" always exists)
   Leaf* head_ = nullptr;  // never removed

@@ -1,0 +1,138 @@
+#include "src/server/service.h"
+
+namespace wh {
+
+Service::Service(const ServiceOptions& opt, ShardRouter router)
+    : router_(std::move(router)) {
+  shards_.resize(router_.shard_count());
+  for (Shard& s : shards_) {
+    s.qsbr = std::make_unique<Qsbr>();
+    s.index = std::make_unique<Wormhole>(opt.index, s.qsbr.get());
+  }
+}
+
+// Shard members destruct index-before-qsbr (declaration order), which is the
+// whole destruction contract; the defaulted logic just has to live here where
+// Wormhole is complete.
+Service::~Service() = default;
+
+void Service::Execute(const std::vector<Request>& batch,
+                      std::vector<Response>* responses) {
+  responses->clear();
+  responses->resize(batch.size());
+
+  // Stable grouping: per-shard sub-batches preserve submission order, which
+  // is what makes per-key semantics exactly sequential (all ops on one key
+  // land in one shard). A two-pass counting sort into one flat index buffer
+  // keeps the grouping to three fixed-size allocations per batch — no
+  // per-shard vectors, no push_back growth.
+  std::vector<uint32_t> shard_of(batch.size());
+  std::vector<size_t> offsets(shards_.size() + 1, 0);
+  for (size_t i = 0; i < batch.size(); i++) {
+    shard_of[i] = static_cast<uint32_t>(router_.ShardOf(batch[i].key));
+    offsets[shard_of[i] + 1]++;
+  }
+  for (size_t s = 1; s < offsets.size(); s++) {
+    offsets[s] += offsets[s - 1];
+  }
+  std::vector<uint32_t> order(batch.size());
+  {
+    std::vector<size_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (uint32_t i = 0; i < batch.size(); i++) {
+      order[cursor[shard_of[i]]++] = i;  // ascending i keeps the sort stable
+    }
+  }
+
+  // Scratch reused across runs to keep per-batch allocation flat.
+  std::vector<std::string_view> keys;
+  std::vector<std::string> values;
+  std::vector<uint8_t> hits;
+  std::vector<std::pair<std::string_view, std::string_view>> puts;
+
+  for (size_t s = 0; s < shards_.size(); s++) {
+    const uint32_t* idx = order.data() + offsets[s];
+    const size_t idx_n = offsets[s + 1] - offsets[s];
+    Wormhole* index = shards_[s].index.get();
+    size_t i = 0;
+    while (i < idx_n) {
+      const Op op = batch[idx[i]].op;
+      // Maximal same-op run: one MultiGet/MultiPut per run amortizes the
+      // quiescent-state report and leaf-lock traffic across it.
+      size_t j = i + 1;
+      if (op == Op::kGet || op == Op::kPut) {
+        while (j < idx_n && batch[idx[j]].op == op) {
+          j++;
+        }
+      }
+      switch (op) {
+        case Op::kGet: {
+          keys.clear();
+          for (size_t k = i; k < j; k++) {
+            keys.push_back(batch[idx[k]].key);
+          }
+          index->MultiGet(keys, &values, &hits);
+          for (size_t k = i; k < j; k++) {
+            Response& r = (*responses)[idx[k]];
+            r.found = hits[k - i] != 0;
+            r.value = std::move(values[k - i]);
+          }
+          break;
+        }
+        case Op::kPut: {
+          puts.clear();
+          for (size_t k = i; k < j; k++) {
+            puts.emplace_back(batch[idx[k]].key, batch[idx[k]].value);
+            (*responses)[idx[k]].found = true;
+          }
+          index->MultiPut(puts);
+          break;
+        }
+        case Op::kDelete:
+          (*responses)[idx[i]].found = index->Delete(batch[idx[i]].key);
+          break;
+        case Op::kScan:
+          ExecuteScan(s, batch[idx[i]], &(*responses)[idx[i]]);
+          break;
+      }
+      i = j;
+    }
+  }
+}
+
+void Service::ExecuteScan(size_t first_shard, const Request& req,
+                          Response* resp) {
+  const size_t limit = req.scan_limit;
+  for (size_t s = first_shard; s < shards_.size() && resp->items.size() < limit;
+       s++) {
+    // Every key in shard s is >= its lower boundary anchor, so continuing
+    // from that anchor visits the whole shard; appending per-shard ordered
+    // results stitches one globally ordered stream.
+    const std::string_view start =
+        s == first_shard ? std::string_view(req.key)
+                         : std::string_view(router_.boundaries()[s - 1]);
+    shards_[s].index->Scan(start, limit - resp->items.size(),
+                           [&](std::string_view k, std::string_view v) {
+                             resp->items.emplace_back(std::string(k),
+                                                      std::string(v));
+                             return true;
+                           });
+  }
+}
+
+size_t Service::size() const {
+  size_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.index->size();
+  }
+  return total;
+}
+
+uint64_t Service::MemoryBytes() const {
+  uint64_t total = sizeof(*this);
+  for (const Shard& s : shards_) {
+    total += sizeof(Shard) + sizeof(Qsbr) + s.index->MemoryBytes();
+  }
+  return total;
+}
+
+}  // namespace wh

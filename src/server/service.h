@@ -1,0 +1,103 @@
+// Sharded KV service: the store built *around* the Wormhole index. The paper
+// positions Wormhole as the ordered index inside an in-memory key-value
+// store; this layer is that store's request plane.
+//
+// Request/batch model: clients submit batches of independent Get / Put /
+// Delete / Scan requests. Execute() groups a batch by shard (ShardRouter
+// range-partitions the keyspace by boundary anchors), executes each shard's
+// sub-batch in submission order, and scatters results back into a response
+// array parallel to the batch. Within a shard, maximal runs of consecutive
+// Gets and Puts are executed through the core's batch entry points
+// (Wormhole::MultiGet / MultiPut), which serve a whole run under one
+// quiescent-state report and reuse a held leaf lock across keys that land in
+// the same leaf — the QSBR- and lock-amortization that makes batching pay.
+//
+// Ordering contract: requests to the same shard (hence: all requests touching
+// any single key) are applied in batch order. Requests to different shards
+// may interleave arbitrarily; a Scan that crosses shard boundaries observes
+// each subsequent shard at the moment the scan reaches it. Cross-shard Scan
+// results are still globally ordered: shards partition the keyspace in order,
+// so stitching per-shard ordered results end-to-end yields one ordered
+// stream.
+//
+// Threading contract: Execute() may be called concurrently from any number of
+// client threads — the router is immutable and each shard is a concurrent
+// Wormhole. Every shard owns a private QSBR domain, so a slow batch in one
+// shard never stalls memory reclamation in another. Client threads join a
+// shard's domain lazily on first touch and leave it at thread exit
+// (wh::QsbrThreadScope scopes this to a worker's lifetime); destroy the
+// Service only after all client threads have quiesced or exited.
+#ifndef WH_SRC_SERVER_SERVICE_H_
+#define WH_SRC_SERVER_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/qsbr.h"
+#include "src/core/wormhole.h"
+#include "src/server/shard_router.h"
+
+namespace wh {
+
+enum class Op : uint8_t { kGet, kPut, kDelete, kScan };
+
+struct Request {
+  Op op = Op::kGet;
+  std::string key;          // Get/Put/Delete key; Scan start (inclusive)
+  std::string value;        // Put payload
+  uint32_t scan_limit = 0;  // Scan: max items returned
+};
+
+struct Response {
+  bool found = false;  // Get: hit; Delete: key existed; Put: always true
+  std::string value;   // Get hit payload
+  // Scan results in global key order (stitched across shard boundaries).
+  std::vector<std::pair<std::string, std::string>> items;
+};
+
+struct ServiceOptions {
+  Options index;  // per-shard Wormhole options
+};
+
+class Service {
+ public:
+  // Aliases for link adapters templated over the service (src/net).
+  using RequestType = Request;
+  using ResponseType = Response;
+
+  Service(const ServiceOptions& opt, ShardRouter router);
+  ~Service();
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  // Executes one batch; *responses is resized to batch.size() and
+  // responses[i] answers batch[i].
+  void Execute(const std::vector<Request>& batch,
+               std::vector<Response>* responses);
+
+  size_t shard_count() const { return shards_.size(); }
+  const ShardRouter& router() const { return router_; }
+
+  // Total item count / footprint across shards (not atomic across them).
+  size_t size() const;
+  uint64_t MemoryBytes() const;
+
+ private:
+  // qsbr must outlive index: the Wormhole destructor drains into its domain.
+  struct Shard {
+    std::unique_ptr<Qsbr> qsbr;
+    std::unique_ptr<Wormhole> index;
+  };
+
+  void ExecuteScan(size_t first_shard, const Request& req, Response* resp);
+
+  ShardRouter router_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace wh
+
+#endif  // WH_SRC_SERVER_SERVICE_H_

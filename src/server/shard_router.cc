@@ -1,0 +1,53 @@
+#include "src/server/shard_router.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/core/leaf_ops.h"
+
+namespace wh {
+
+ShardRouter::ShardRouter(std::vector<std::string> boundaries)
+    : boundaries_(std::move(boundaries)) {
+#ifndef NDEBUG
+  for (size_t i = 0; i < boundaries_.size(); i++) {
+    assert(!boundaries_[i].empty() && "the implied first anchor is already \"\"");
+    assert((i == 0 || boundaries_[i - 1] < boundaries_[i]) &&
+           "boundaries must be strictly increasing");
+  }
+#endif
+}
+
+ShardRouter ShardRouter::FromSamples(std::vector<std::string> samples,
+                                     size_t shards) {
+  std::sort(samples.begin(), samples.end());
+  samples.erase(std::unique(samples.begin(), samples.end()), samples.end());
+  std::vector<std::string> boundaries;
+  if (shards > 1 && samples.size() >= 2) {
+    boundaries.reserve(shards - 1);
+    size_t prev_pos = 0;  // quantile positions must stay distinct and > 0
+    for (size_t i = 1; i < shards; i++) {
+      const size_t pos = i * samples.size() / shards;
+      if (pos == prev_pos || pos == 0) {
+        continue;
+      }
+      prev_pos = pos;
+      // samples[pos-1] < boundary <= samples[pos]; distinct positions give
+      // strictly increasing boundaries, so no post-hoc dedup is needed.
+      boundaries.push_back(samples[pos].substr(
+          0, leafops::SeparatorLen(samples[pos - 1], samples[pos])));
+    }
+  }
+  return ShardRouter(std::move(boundaries));
+}
+
+size_t ShardRouter::ShardOf(std::string_view key) const {
+  const auto it =
+      std::upper_bound(boundaries_.begin(), boundaries_.end(), key,
+                       [](std::string_view k, const std::string& b) {
+                         return k < std::string_view(b);
+                       });
+  return static_cast<size_t>(it - boundaries_.begin());
+}
+
+}  // namespace wh

@@ -1,0 +1,433 @@
+// Service-layer correctness: the sharded Service must be observationally
+// equivalent to one Wormhole. The differential test drives Service(S=1) and
+// Service(S=4, boundaries from randomly sampled keys) against a single
+// Wormhole reference with mixed Get/Put/Delete/Scan batches — scans sit in
+// read-only batches because cross-shard interleaving is unordered by contract
+// (service.h), while per-key results are exactly sequential in every batch.
+// Also covered: the core batch entry points (MultiGet/MultiPut vs their
+// per-key forms), ShardRouter boundary selection, and a concurrent
+// multi-client smoke.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/common/qsbr.h"
+#include "src/common/rng.h"
+#include "src/core/wormhole.h"
+#include "src/server/service.h"
+#include "src/server/shard_router.h"
+#include "src/workload/keysets.h"
+
+namespace wh {
+namespace {
+
+using Pairs = std::vector<std::pair<std::string, std::string>>;
+
+Pairs WormholeScan(Wormhole* index, std::string_view start, size_t count) {
+  Pairs out;
+  index->Scan(start, count, [&](std::string_view k, std::string_view v) {
+    out.emplace_back(std::string(k), std::string(v));
+    return true;
+  });
+  return out;
+}
+
+TEST(ShardRouter, ExplicitBoundaries) {
+  const ShardRouter router({"g", "p"});
+  EXPECT_EQ(router.shard_count(), 3u);
+  EXPECT_EQ(router.ShardOf(""), 0u);
+  EXPECT_EQ(router.ShardOf("a"), 0u);
+  EXPECT_EQ(router.ShardOf("fzzz"), 0u);
+  EXPECT_EQ(router.ShardOf("g"), 1u);  // boundary belongs to the upper shard
+  EXPECT_EQ(router.ShardOf("gz"), 1u);
+  EXPECT_EQ(router.ShardOf("ozzz"), 1u);
+  EXPECT_EQ(router.ShardOf("p"), 2u);
+  EXPECT_EQ(router.ShardOf("zzzz"), 2u);
+}
+
+TEST(ShardRouter, SingleShardRoutesEverythingToZero) {
+  const ShardRouter router({});
+  EXPECT_EQ(router.shard_count(), 1u);
+  EXPECT_EQ(router.ShardOf(""), 0u);
+  EXPECT_EQ(router.ShardOf("anything"), 0u);
+}
+
+TEST(ShardRouter, FromSamplesChoosesSeparatingPrefixBoundaries) {
+  const auto samples = GenerateKeyset({KeysetId::kUrl, 1000, 11});
+  for (const size_t shards : {2u, 4u, 8u}) {
+    const ShardRouter router = ShardRouter::FromSamples(samples, shards);
+    ASSERT_EQ(router.shard_count(), shards);
+    const auto& bs = router.boundaries();
+    for (size_t i = 0; i < bs.size(); i++) {
+      EXPECT_FALSE(bs[i].empty());
+      if (i > 0) {
+        EXPECT_LT(bs[i - 1], bs[i]);
+      }
+      // A boundary routes to the shard it opens.
+      EXPECT_EQ(router.ShardOf(bs[i]), i + 1);
+      // The shortest-separating-prefix trick: some sample key starts with the
+      // boundary (it is a prefix of the quantile sample) and some sample
+      // sorts strictly below it (its predecessor).
+      bool is_prefix_of_sample = false;
+      bool has_below = false;
+      for (const auto& s : samples) {
+        is_prefix_of_sample |= s.compare(0, bs[i].size(), bs[i]) == 0;
+        has_below |= s < bs[i];
+      }
+      EXPECT_TRUE(is_prefix_of_sample) << "boundary " << i;
+      EXPECT_TRUE(has_below) << "boundary " << i;
+    }
+  }
+}
+
+TEST(ShardRouter, FewSamplesDegradeGracefully) {
+  EXPECT_EQ(ShardRouter::FromSamples({}, 8).shard_count(), 1u);
+  EXPECT_EQ(ShardRouter::FromSamples({"only"}, 8).shard_count(), 1u);
+  // Duplicate samples collapse before quantile selection.
+  const ShardRouter router =
+      ShardRouter::FromSamples({"a", "a", "b", "b"}, 8);
+  EXPECT_LE(router.shard_count(), 2u);
+}
+
+TEST(WormholeBatch, MultiGetMatchesGet) {
+  const auto keys = GenerateKeyset({KeysetId::kAz1, 1500, 21});
+  Options opt;
+  opt.leaf_capacity = 16;  // plenty of leaves, so batches span many of them
+  Wormhole index(opt);
+  for (size_t i = 0; i < keys.size(); i++) {
+    if (i % 3 != 0) {  // leave every third key absent
+      index.Put(keys[i], "v" + std::to_string(i));
+    }
+  }
+
+  std::vector<std::string_view> queries;
+  for (const auto& k : keys) {
+    queries.push_back(k);
+  }
+  std::vector<std::string> values;
+  std::vector<uint8_t> hits;
+  const size_t found = index.MultiGet(queries, &values, &hits);
+
+  ASSERT_EQ(values.size(), keys.size());
+  ASSERT_EQ(hits.size(), keys.size());
+  size_t expected_found = 0;
+  for (size_t i = 0; i < keys.size(); i++) {
+    std::string want;
+    const bool want_hit = index.Get(keys[i], &want);
+    expected_found += want_hit ? 1 : 0;
+    ASSERT_EQ(hits[i] != 0, want_hit) << "key " << keys[i];
+    if (want_hit) {
+      ASSERT_EQ(values[i], want) << "key " << keys[i];
+    } else {
+      ASSERT_TRUE(values[i].empty());
+    }
+  }
+  EXPECT_EQ(found, expected_found);
+
+  // Empty batch: valid, returns nothing.
+  EXPECT_EQ(index.MultiGet({}, &values, &hits), 0u);
+  EXPECT_TRUE(values.empty());
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST(WormholeBatch, MultiPutMatchesPut) {
+  const auto keys = GenerateKeyset({KeysetId::kK3, 2000, 31});
+  Options opt;
+  opt.leaf_capacity = 16;  // force splits through the MultiPut slow path
+  Wormhole batched(opt);
+  Wormhole reference(opt);
+
+  Rng rng(0xbeef);
+  std::vector<std::pair<std::string_view, std::string_view>> batch;
+  std::vector<std::string> batch_values;
+  size_t pos = 0;
+  while (pos < keys.size()) {
+    const size_t n = 1 + rng.NextBounded(64);
+    batch.clear();
+    batch_values.clear();
+    batch_values.reserve(n);  // stable storage for the views
+    for (size_t i = 0; i < n && pos < keys.size(); i++, pos++) {
+      batch_values.push_back("v" + std::to_string(pos));
+      batch.emplace_back(keys[pos], batch_values.back());
+      reference.Put(keys[pos], batch_values.back());
+    }
+    batched.MultiPut(batch);
+  }
+  // Re-put a slice with new values: the update path.
+  batch.clear();
+  batch_values.clear();
+  batch_values.reserve(200);
+  for (size_t i = 0; i < 200; i++) {
+    batch_values.push_back("u" + std::to_string(i));
+    batch.emplace_back(keys[i * 7 % keys.size()], batch_values.back());
+    reference.Put(keys[i * 7 % keys.size()], batch_values.back());
+  }
+  batched.MultiPut(batch);
+
+  ASSERT_EQ(batched.size(), reference.size());
+  EXPECT_EQ(WormholeScan(&batched, "", keys.size() + 10),
+            WormholeScan(&reference, "", keys.size() + 10));
+}
+
+// --- Service vs single Wormhole differential -------------------------------
+
+std::string DumpValue(const Response& r) {
+  return r.found ? r.value : std::string("<miss>");
+}
+
+void RunServiceDifferential(size_t shards, uint64_t seed) {
+  SCOPED_TRACE("shards=" + std::to_string(shards));
+  const auto pool = GenerateKeyset({KeysetId::kAz1, 1200, 5});
+  Rng rng(seed);
+
+  // Random boundaries: sample a random subset of the pool, not quantiles of
+  // the whole, so boundary placement varies with the seed.
+  std::vector<std::string> samples;
+  for (size_t i = 0; i < 64; i++) {
+    samples.push_back(pool[rng.NextBounded(pool.size())]);
+  }
+  const ShardRouter router = ShardRouter::FromSamples(std::move(samples), shards);
+
+  Options opt;
+  opt.leaf_capacity = 16;
+  ServiceOptions service_opt;
+  service_opt.index = opt;
+  Service service(service_opt, router);
+  Wormhole reference(opt);
+
+  const auto pick_key = [&]() -> const std::string& {
+    return pool[rng.NextBounded(pool.size())];
+  };
+
+  uint64_t value_counter = 0;
+  std::vector<Request> batch;
+  std::vector<Response> responses;
+  for (int round = 0; round < 60; round++) {
+    batch.clear();
+    const bool read_only = round % 4 == 3;  // every 4th batch may scan
+    const size_t n = 1 + rng.NextBounded(64);
+    for (size_t i = 0; i < n; i++) {
+      Request req;
+      const uint64_t roll = rng.NextBounded(100);
+      if (read_only) {
+        if (roll < 70) {
+          req.op = Op::kGet;
+          req.key = pick_key();
+        } else {
+          req.op = Op::kScan;
+          req.key = pick_key();
+          req.scan_limit = 1 + static_cast<uint32_t>(rng.NextBounded(200));
+          if (roll >= 95 && !router.boundaries().empty()) {
+            // Start just below a shard boundary so the scan provably crosses
+            // it (the boundary itself sorts above its truncated prefix).
+            const auto& b =
+                router.boundaries()[rng.NextBounded(router.boundaries().size())];
+            req.key = b.substr(0, b.size() - 1);
+            req.scan_limit = 100;
+          }
+        }
+      } else if (roll < 45) {
+        req.op = Op::kPut;
+        req.key = pick_key();
+        req.value = "v" + std::to_string(value_counter++);
+      } else if (roll < 75) {
+        req.op = Op::kGet;
+        req.key = pick_key();
+      } else {
+        req.op = Op::kDelete;
+        req.key = pick_key();
+      }
+      batch.push_back(std::move(req));
+    }
+
+    service.Execute(batch, &responses);
+    ASSERT_EQ(responses.size(), batch.size());
+
+    // The reference applies the same batch sequentially. Per-key results are
+    // comparable in every batch (all ops on one key share a shard, and
+    // in-shard order is submission order); scan results are comparable
+    // because scan batches carry no writes.
+    for (size_t i = 0; i < batch.size(); i++) {
+      const Request& req = batch[i];
+      const Response& got = responses[i];
+      switch (req.op) {
+        case Op::kPut:
+          reference.Put(req.key, req.value);
+          ASSERT_TRUE(got.found);
+          break;
+        case Op::kGet: {
+          std::string want;
+          const bool want_found = reference.Get(req.key, &want);
+          ASSERT_EQ(got.found, want_found)
+              << "round " << round << " Get " << req.key;
+          if (want_found) {
+            ASSERT_EQ(got.value, want) << "round " << round << " Get "
+                                       << req.key << " -> " << DumpValue(got);
+          }
+          break;
+        }
+        case Op::kDelete:
+          ASSERT_EQ(got.found, reference.Delete(req.key))
+              << "round " << round << " Delete " << req.key;
+          break;
+        case Op::kScan: {
+          const Pairs want = WormholeScan(&reference, req.key, req.scan_limit);
+          ASSERT_EQ(got.items, want)
+              << "round " << round << " Scan from " << req.key << " limit "
+              << req.scan_limit;
+          break;
+        }
+      }
+    }
+  }
+
+  // End state: the stitched full scan equals the reference, shard by shard
+  // and across every boundary.
+  ASSERT_EQ(service.size(), reference.size());
+  batch.assign(1, Request{Op::kScan, "", "", 1u << 30});
+  service.Execute(batch, &responses);
+  EXPECT_EQ(responses[0].items, WormholeScan(&reference, "", 1u << 30));
+}
+
+TEST(ServiceDifferential, SingleShardMatchesWormhole) {
+  RunServiceDifferential(1, 0x51ed);
+}
+
+TEST(ServiceDifferential, FourShardsRandomBoundariesMatchWormhole) {
+  RunServiceDifferential(4, 0x4a11);
+  RunServiceDifferential(4, 0x7777);  // second boundary placement
+}
+
+TEST(Service, CrossShardScanStitchesInOrder) {
+  // Hand-built boundaries so the crossing is explicit.
+  Service service(ServiceOptions{}, ShardRouter({"k200", "k400"}));
+  std::vector<Request> batch;
+  std::vector<Response> responses;
+  for (int i = 0; i < 600; i++) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "k%03d", i);
+    batch.push_back(Request{Op::kPut, buf, "v" + std::to_string(i), 0});
+  }
+  service.Execute(batch, &responses);
+  ASSERT_EQ(service.size(), 600u);
+
+  // Spans all three shards, inclusive start, exact limit semantics.
+  batch.assign(1, Request{Op::kScan, "k150", "", 300});
+  service.Execute(batch, &responses);
+  ASSERT_EQ(responses[0].items.size(), 300u);
+  for (int i = 0; i < 300; i++) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "k%03d", 150 + i);
+    ASSERT_EQ(responses[0].items[static_cast<size_t>(i)].first, buf);
+  }
+
+  // A scan that exhausts the keyspace stops cleanly past the last shard.
+  batch.assign(1, Request{Op::kScan, "k590", "", 100});
+  service.Execute(batch, &responses);
+  EXPECT_EQ(responses[0].items.size(), 10u);
+
+  // scan_limit 0 returns nothing.
+  batch.assign(1, Request{Op::kScan, "", "", 0});
+  service.Execute(batch, &responses);
+  EXPECT_TRUE(responses[0].items.empty());
+}
+
+TEST(Service, ConcurrentClientsKeepPerKeySemantics) {
+  // 4 client threads, disjoint key ranges interleaved across shards: each
+  // thread can assert its own keys' final state exactly, while all threads
+  // hammer every shard (keys stripe modulo thread count).
+  const size_t kThreads = 4;
+  const size_t kKeysPerThread = 300;
+  const auto samples = GenerateKeyset({KeysetId::kK3, 400, 9});
+  ServiceOptions opt;
+  opt.index.leaf_capacity = 16;
+  Service service(opt, ShardRouter::FromSamples(samples, 4));
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> pool;
+  for (size_t t = 0; t < kThreads; t++) {
+    pool.emplace_back([&, t] {
+      QsbrThreadScope qsbr_scope;
+      Rng rng(1000 + t);
+      std::map<std::string, std::string> mine;  // this thread's expected state
+      std::vector<std::string> keys;
+      for (size_t i = 0; i < kKeysPerThread; i++) {
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "c%04zu-t%zu", i, t);
+        keys.emplace_back(buf);
+      }
+      std::vector<Request> batch;
+      std::vector<Response> responses;
+      for (int round = 0; round < 40 && !failed.load(); round++) {
+        batch.clear();
+        for (int i = 0; i < 32; i++) {
+          Request req;
+          const std::string& key = keys[rng.NextBounded(keys.size())];
+          const uint64_t roll = rng.NextBounded(100);
+          if (roll < 50) {
+            req.op = Op::kPut;
+            req.key = key;
+            req.value = "t" + std::to_string(t) + "r" + std::to_string(round);
+          } else if (roll < 80) {
+            req.op = Op::kGet;
+            req.key = key;
+          } else {
+            req.op = Op::kDelete;
+            req.key = key;
+          }
+          batch.push_back(std::move(req));
+        }
+        service.Execute(batch, &responses);
+        for (size_t i = 0; i < batch.size(); i++) {
+          const Request& req = batch[i];
+          switch (req.op) {
+            case Op::kPut:
+              mine[req.key] = req.value;
+              break;
+            case Op::kDelete:
+              if (responses[i].found != (mine.erase(req.key) > 0)) {
+                failed.store(true);
+              }
+              break;
+            case Op::kGet: {
+              const auto it = mine.find(req.key);
+              if (responses[i].found != (it != mine.end()) ||
+                  (it != mine.end() && responses[i].value != it->second)) {
+                failed.store(true);
+              }
+              break;
+            }
+            case Op::kScan:
+              break;
+          }
+        }
+      }
+      // Final sweep over this thread's keys.
+      batch.clear();
+      for (const auto& k : keys) {
+        batch.push_back(Request{Op::kGet, k, "", 0});
+      }
+      service.Execute(batch, &responses);
+      for (size_t i = 0; i < keys.size(); i++) {
+        const auto it = mine.find(keys[i]);
+        if (responses[i].found != (it != mine.end()) ||
+            (it != mine.end() && responses[i].value != it->second)) {
+          failed.store(true);
+        }
+      }
+    });
+  }
+  for (auto& th : pool) {
+    th.join();
+  }
+  EXPECT_FALSE(failed.load());
+}
+
+}  // namespace
+}  // namespace wh
