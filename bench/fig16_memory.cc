@@ -14,7 +14,7 @@ int main(int argc, char** argv) {
   }
   wh::PrintHeader("Fig. 16: memory usage (MB) after load", cols);
   for (const char* name :
-       {"SkipList", "B+tree", "ART", "Masstree", "Wormhole"}) {
+       {"SkipList", "B+tree", "ART", "Masstree", "Wormhole", "Wormhole-unsafe"}) {
     std::vector<double> row;
     for (const wh::KeysetId id : wh::kAllKeysets) {
       const auto& keys = wh::GetKeyset(id, env.scale);

@@ -4,10 +4,12 @@
 # Wormhole, and the sharded service), which exercise the lock-free lookup /
 # per-leaf-lock write paths.
 #
-#   scripts/check.sh                  # release + full ctest, ASan, TSan, format
+#   scripts/check.sh                  # release + full ctest, ASan, TSan,
+#                                     # bench-smoke, format
 #   scripts/check.sh --fast           # release unit tests only (no bench builds)
 #   scripts/check.sh --ci             # non-interactive; per-stage timing lines
-#   scripts/check.sh --stage <name>   # one stage: release|asan|tsan|format|all
+#   scripts/check.sh --stage <name>   # one stage:
+#                                     # release|asan|tsan|bench-smoke|format|all
 #
 # The CI matrix (.github/workflows/ci.yml) runs one --stage per job so the
 # three sanitizer configs build and cache independently.
@@ -25,7 +27,7 @@ while [[ $# -gt 0 ]]; do
     --fast) FAST=1 ;;
     --ci) CI=1 ;;
     --stage)
-      STAGE="${2:?--stage needs release|asan|tsan|format|all}"
+      STAGE="${2:?--stage needs release|asan|tsan|bench-smoke|format|all}"
       shift
       ;;
     *)
@@ -40,8 +42,8 @@ JOBS="$(nproc)"
 # Everything ctest runs here is also run by CI; -j matches the tier-1 verify.
 CTEST_FLAGS=(--output-on-failure -j "$JOBS")
 # --fast runs only unit tests, so it must not pay for the 13 bench binaries.
-TEST_TARGETS=(test_index_correctness test_qsbr test_keysets test_service
-              test_wormhole_concurrent)
+TEST_TARGETS=(test_index_correctness test_leaf_ops test_qsbr test_keysets
+              test_service test_wormhole_concurrent)
 
 STAGE_T0=0
 stage_begin() {
@@ -93,6 +95,33 @@ run_tsan() {
   stage_end "tsan ctest"
 }
 
+run_bench_smoke() {
+  stage_begin "bench-smoke: tiny-scale snapshot + JSON validation"
+  # Exercises the whole snapshot path (bench builds, --json emission,
+  # aggregation) at a scale that finishes in seconds; the JSON must parse, so
+  # a bench that crashes or emits garbage fails the stage. The temp outfile
+  # never touches the committed BENCH_<date>.json baselines.
+  # bench_snapshot.sh validates the JSON itself when jq or python3 exists (and
+  # refuses to install the outfile otherwise-invalid output); it only *warns*
+  # when neither validator is present, so the stage's job is to make that case
+  # a hard failure rather than to re-validate.
+  if ! command -v jq >/dev/null 2>&1 && ! command -v python3 >/dev/null 2>&1; then
+    echo "neither jq nor python3 available to validate the snapshot JSON" >&2
+    exit 1
+  fi
+  local out ok=1
+  out="$(mktemp /tmp/bench-smoke.XXXXXX)"
+  # No early exit before the rm: under set -e it would leak the temp file.
+  WH_BENCH_SCALE=0.002 WH_BENCH_THREADS=1 WH_BENCH_SECONDS=0.05 \
+    scripts/bench_snapshot.sh "$out" >/dev/null || ok=0
+  rm -f "$out"
+  if [[ "$ok" != 1 ]]; then
+    echo "bench_snapshot.sh failed" >&2
+    exit 1
+  fi
+  stage_end "bench-smoke"
+}
+
 run_format() {
   stage_begin "format: clang-format --dry-run over src/ tests/ bench/"
   if ! command -v clang-format >/dev/null 2>&1; then
@@ -113,6 +142,7 @@ case "$STAGE" in
   release) run_release ;;
   asan) run_asan ;;
   tsan) run_tsan ;;
+  bench-smoke) run_bench_smoke ;;
   format) run_format ;;
   all)
     run_release
@@ -121,10 +151,11 @@ case "$STAGE" in
     fi
     run_asan
     run_tsan
+    run_bench_smoke
     run_format
     ;;
   *)
-    echo "unknown stage '$STAGE' (release|asan|tsan|format|all)" >&2
+    echo "unknown stage '$STAGE' (release|asan|tsan|bench-smoke|format|all)" >&2
     exit 2
     ;;
 esac

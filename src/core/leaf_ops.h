@@ -1,83 +1,238 @@
-// Internal: in-leaf item operations shared by WormholeUnsafe and the
-// concurrent Wormhole. Both leaf types expose the same storage layout —
-// `slots` (items at stable positions), `by_key` (slot ids in key order) and
-// `by_hash` (slot ids in (hash, key) order, DirectPos only) — and these
-// helpers assume the caller holds whatever lock protects that leaf.
+// Internal: slab-backed in-leaf KV storage shared by WormholeUnsafe and the
+// concurrent Wormhole. A leaf's items live in one contiguous LeafStore:
+//
+//   slots    fixed 24-byte records at stable ids (append on insert,
+//            swap-with-last on erase)
+//   by_key   slot ids in key order
+//   by_hash  slot ids in (hash, key) order — DirectPos only, else empty
+//   slab     one byte buffer holding every key (and every out-of-line value)
+//
+// Key bytes are offset/length-encoded into the slab, so a leaf's keys cost
+// exactly their bytes — no per-key std::string header, no per-key heap
+// allocation, no SSO slack. Values up to kInlineValue bytes (the paper's
+// index-only payload size) are stored inline in the slot; longer values go to
+// the slab. Erases and relocating overwrites leave dead bytes behind, tracked
+// in `dead` and reclaimed by Compact once they dominate the slab.
+//
+// All helpers assume the caller holds whatever lock protects the leaf.
+// Returned string_views point into the slab and are invalidated by any
+// mutating call.
 #ifndef WH_SRC_CORE_LEAF_OPS_H_
 #define WH_SRC_CORE_LEAF_OPS_H_
 
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
-#include "src/common/crc32c.h"
+#include "src/common/bytes.h"
 
 namespace wh {
 namespace leafops {
 
-// Slot id of `key`, or -1.
-template <typename LeafT>
-int FindSlot(const LeafT* leaf, bool direct_pos, std::string_view key) {
-  const auto& slots = leaf->slots;
+inline constexpr uint32_t kInlineValue = 8;
+
+struct LeafSlot {
+  uint32_t hash;  // raw CRC32C of the full key (DirectPos only; else 0)
+  uint32_t koff;  // key bytes at slab[koff, koff + klen)
+  uint32_t klen;
+  uint32_t vlen;
+  union {
+    uint32_t voff;               // slab offset when vlen > kInlineValue
+    char vinl[kInlineValue];     // value bytes when vlen <= kInlineValue
+  };
+};
+static_assert(sizeof(LeafSlot) == 24, "LeafSlot grew past 24 bytes");
+
+struct LeafStore {
+  std::vector<LeafSlot> slots;
+  std::vector<uint16_t> by_key;
+  std::vector<uint16_t> by_hash;
+  // std::vector, not std::string: vector::reserve allocates exactly what is
+  // asked, so the gentle growth policy in AppendRaw actually holds (libstdc++
+  // string::reserve rounds any growth up to 2x the old capacity, which would
+  // leave ~half the slab as slack on large-key workloads).
+  std::vector<char> slab;
+  uint32_t dead = 0;  // reclaimable slab bytes (see Compact)
+
+  size_t size() const { return slots.size(); }
+  std::string_view Key(uint16_t id) const {
+    const LeafSlot& s = slots[id];
+    return {slab.data() + s.koff, s.klen};
+  }
+  std::string_view Value(uint16_t id) const {
+    const LeafSlot& s = slots[id];
+    return s.vlen <= kInlineValue ? std::string_view{s.vinl, s.vlen}
+                                  : std::string_view{slab.data() + s.voff, s.vlen};
+  }
+  // Key at key-ordered position `rank`.
+  std::string_view KeyAt(size_t rank) const { return Key(by_key[rank]); }
+};
+
+// Appends a record without touching the ordered indexes (bulk-build path;
+// callers rebuild indexes afterwards or splice via Insert instead).
+inline uint16_t AppendRaw(LeafStore* s, std::string_view key,
+                          std::string_view value, uint32_t hash) {
+  // Grow the slab with ~12.5% headroom instead of the containers' doubling:
+  // slabs are the dominant footprint (fig. 16 counts capacity), leaves are
+  // small, and splits re-reserve exactly, so the gentler policy caps waste
+  // without measurable realloc cost.
+  const size_t need =
+      s->slab.size() + key.size() +
+      (value.size() > kInlineValue ? value.size() : 0);
+  if (need > s->slab.capacity()) {
+    s->slab.reserve(need + need / 8);
+  }
+  if (s->slots.size() == s->slots.capacity()) {
+    s->slots.reserve(s->slots.size() + s->slots.size() / 4 + 8);
+  }
+  LeafSlot slot;
+  slot.hash = hash;
+  slot.koff = static_cast<uint32_t>(s->slab.size());
+  slot.klen = static_cast<uint32_t>(key.size());
+  if (!key.empty()) {
+    s->slab.insert(s->slab.end(), key.begin(), key.end());
+  }
+  slot.vlen = static_cast<uint32_t>(value.size());
+  if (slot.vlen <= kInlineValue) {
+    if (!value.empty()) {
+      std::memcpy(slot.vinl, value.data(), value.size());
+    }
+  } else {
+    slot.voff = static_cast<uint32_t>(s->slab.size());
+    s->slab.insert(s->slab.end(), value.begin(), value.end());
+  }
+  const uint16_t id = static_cast<uint16_t>(s->slots.size());
+  s->slots.push_back(slot);
+  return id;
+}
+
+// Rewrites the slab with only live bytes; slot ids (hence the indexes) are
+// untouched because they address slots, not slab offsets.
+inline void Compact(LeafStore* s) {
+  std::vector<char> fresh;
+  fresh.reserve(s->slab.size() - s->dead);
+  for (LeafSlot& sl : s->slots) {
+    const uint32_t koff = static_cast<uint32_t>(fresh.size());
+    fresh.insert(fresh.end(), s->slab.begin() + sl.koff,
+                 s->slab.begin() + sl.koff + sl.klen);
+    sl.koff = koff;
+    if (sl.vlen > kInlineValue) {
+      const uint32_t voff = static_cast<uint32_t>(fresh.size());
+      fresh.insert(fresh.end(), s->slab.begin() + sl.voff,
+                   s->slab.begin() + sl.voff + sl.vlen);
+      sl.voff = voff;
+    }
+  }
+  s->slab = std::move(fresh);
+  s->dead = 0;
+}
+
+inline void MaybeCompact(LeafStore* s) {
+  // Threshold keeps compaction O(1) amortized: at least half the slab must be
+  // dead, and tiny slabs are never worth rewriting.
+  if (s->dead >= 256 && s->dead * 2 > s->slab.size()) {
+    Compact(s);
+  }
+}
+
+// Slot id of `key`, or -1. `hash` is the precomputed full-key CRC32C raw
+// state — lookup paths extend the LPM's incremental prefix state instead of
+// rehashing the key from byte 0; ignored unless direct_pos.
+inline int FindSlot(const LeafStore& s, bool direct_pos, std::string_view key,
+                    uint32_t hash) {
   if (direct_pos) {
     // Binary search by (hash, key): almost always pure 4-byte comparisons.
-    // The full-key hash is only worth computing on this path; without
-    // DirectPos the in-leaf search is hash-free by design (Fig. 11).
-    const uint32_t hash = Crc32cExtend(kCrc32cInit, key.data(), key.size());
-    auto it = std::lower_bound(leaf->by_hash.begin(), leaf->by_hash.end(), key,
+    auto it = std::lower_bound(s.by_hash.begin(), s.by_hash.end(), key,
                                [&](uint16_t id, std::string_view k) {
-                                 const auto& item = slots[id];
-                                 if (item.hash != hash) {
-                                   return item.hash < hash;
+                                 const LeafSlot& sl = s.slots[id];
+                                 if (sl.hash != hash) {
+                                   return sl.hash < hash;
                                  }
-                                 return item.key < k;
+                                 return s.Key(id) < k;
                                });
-    if (it != leaf->by_hash.end() && slots[*it].hash == hash &&
-        slots[*it].key == key) {
+    if (it != s.by_hash.end() && s.slots[*it].hash == hash && s.Key(*it) == key) {
       return *it;
     }
     return -1;
   }
   auto it = std::lower_bound(
-      leaf->by_key.begin(), leaf->by_key.end(), key,
-      [&](uint16_t id, std::string_view k) { return slots[id].key < k; });
-  if (it != leaf->by_key.end() && slots[*it].key == key) {
+      s.by_key.begin(), s.by_key.end(), key,
+      [&](uint16_t id, std::string_view k) { return s.Key(id) < k; });
+  if (it != s.by_key.end() && s.Key(*it) == key) {
     return *it;
   }
   return -1;
 }
 
 // Appends a new item and splices its slot id into the ordered indexes.
-template <typename LeafT>
-void Insert(LeafT* leaf, bool direct_pos, std::string_view key,
-            std::string_view value) {
-  const uint32_t hash =
-      direct_pos ? Crc32cExtend(kCrc32cInit, key.data(), key.size()) : 0;
-  const uint16_t id = static_cast<uint16_t>(leaf->slots.size());
-  leaf->slots.push_back({hash, std::string(key), std::string(value)});
-  const auto& slots = leaf->slots;
+// `hash` must be the full-key CRC32C raw state when direct_pos (ignored
+// otherwise).
+inline void Insert(LeafStore* s, bool direct_pos, std::string_view key,
+                   std::string_view value, uint32_t hash) {
+  const uint16_t id = AppendRaw(s, key, value, direct_pos ? hash : 0);
   auto kit = std::lower_bound(
-      leaf->by_key.begin(), leaf->by_key.end(), key,
-      [&](uint16_t a, std::string_view k) { return slots[a].key < k; });
-  leaf->by_key.insert(kit, id);
+      s->by_key.begin(), s->by_key.end(), key,
+      [&](uint16_t a, std::string_view k) { return s->Key(a) < k; });
+  s->by_key.insert(kit, id);
   if (direct_pos) {
-    auto hit = std::lower_bound(leaf->by_hash.begin(), leaf->by_hash.end(), id,
+    auto hit = std::lower_bound(s->by_hash.begin(), s->by_hash.end(), id,
                                 [&](uint16_t a, uint16_t b) {
-                                  if (slots[a].hash != slots[b].hash) {
-                                    return slots[a].hash < slots[b].hash;
+                                  const LeafSlot& sa = s->slots[a];
+                                  const LeafSlot& sb = s->slots[b];
+                                  if (sa.hash != sb.hash) {
+                                    return sa.hash < sb.hash;
                                   }
-                                  return slots[a].key < slots[b].key;
+                                  return s->Key(a) < s->Key(b);
                                 });
-    leaf->by_hash.insert(hit, id);
+    s->by_hash.insert(hit, id);
   }
 }
 
+// Overwrites slot `id`'s value: inline when short, reusing the old
+// out-of-line span when the new value fits, appending (and marking the old
+// span dead) otherwise.
+inline void UpdateValue(LeafStore* s, uint16_t id, std::string_view value) {
+  LeafSlot& sl = s->slots[id];
+  const bool was_ext = sl.vlen > kInlineValue;
+  const uint32_t new_len = static_cast<uint32_t>(value.size());
+  if (new_len <= kInlineValue) {
+    if (was_ext) {
+      s->dead += sl.vlen;
+    }
+    if (new_len > 0) {
+      std::memcpy(sl.vinl, value.data(), new_len);
+    }
+  } else if (was_ext && new_len <= sl.vlen) {
+    std::memcpy(&s->slab[sl.voff], value.data(), new_len);
+    s->dead += sl.vlen - new_len;
+  } else {
+    if (was_ext) {
+      s->dead += sl.vlen;
+    }
+    const size_t need = s->slab.size() + new_len;
+    if (need > s->slab.capacity()) {
+      s->slab.reserve(need + need / 8);
+    }
+    const uint32_t voff = static_cast<uint32_t>(s->slab.size());
+    s->slab.insert(s->slab.end(), value.begin(), value.end());
+    sl.voff = voff;
+  }
+  sl.vlen = new_len;
+  MaybeCompact(s);
+}
+
 // Erases slot `id` (swap-with-last in `slots`, linear fixups in the indexes).
-template <typename LeafT>
-void Erase(LeafT* leaf, bool direct_pos, uint16_t id) {
-  const uint16_t last = static_cast<uint16_t>(leaf->slots.size() - 1);
+inline void Erase(LeafStore* s, bool direct_pos, uint16_t id) {
+  {
+    const LeafSlot& sl = s->slots[id];
+    s->dead += sl.klen + (sl.vlen > kInlineValue ? sl.vlen : 0);
+  }
+  const uint16_t last = static_cast<uint16_t>(s->slots.size() - 1);
   // Leaves hold at most leaf_capacity (~128) items: linear index fixups are
   // cheap and immune to comparator subtleties.
   auto fixup = [&](std::vector<uint16_t>& index) {
@@ -92,58 +247,59 @@ void Erase(LeafT* leaf, bool direct_pos, uint16_t id) {
     assert(erase_pos < index.size());
     index.erase(index.begin() + static_cast<ptrdiff_t>(erase_pos));
   };
-  fixup(leaf->by_key);
+  fixup(s->by_key);
   if (direct_pos) {
-    fixup(leaf->by_hash);
+    fixup(s->by_hash);
   }
   if (id != last) {
-    leaf->slots[id] = std::move(leaf->slots[last]);
+    s->slots[id] = s->slots[last];
   }
-  leaf->slots.pop_back();
+  s->slots.pop_back();
+  MaybeCompact(s);
 }
 
 // Recomputes both ordered indexes from `slots` (after bulk moves in a split).
-template <typename LeafT>
-void RebuildIndexes(LeafT* leaf, bool direct_pos) {
-  const auto& slots = leaf->slots;
-  leaf->by_key.resize(slots.size());
-  for (uint16_t i = 0; i < slots.size(); i++) {
-    leaf->by_key[i] = i;
+inline void RebuildIndexes(LeafStore* s, bool direct_pos) {
+  s->by_key.resize(s->slots.size());
+  for (uint16_t i = 0; i < s->slots.size(); i++) {
+    s->by_key[i] = i;
   }
-  std::sort(leaf->by_key.begin(), leaf->by_key.end(),
-            [&](uint16_t a, uint16_t b) { return slots[a].key < slots[b].key; });
+  std::sort(s->by_key.begin(), s->by_key.end(),
+            [&](uint16_t a, uint16_t b) { return s->Key(a) < s->Key(b); });
   if (direct_pos) {
-    leaf->by_hash = leaf->by_key;
-    std::sort(leaf->by_hash.begin(), leaf->by_hash.end(),
+    s->by_hash = s->by_key;
+    std::sort(s->by_hash.begin(), s->by_hash.end(),
               [&](uint16_t a, uint16_t b) {
-                if (slots[a].hash != slots[b].hash) {
-                  return slots[a].hash < slots[b].hash;
+                const LeafSlot& sa = s->slots[a];
+                const LeafSlot& sb = s->slots[b];
+                if (sa.hash != sb.hash) {
+                  return sa.hash < sb.hash;
                 }
-                return slots[a].key < slots[b].key;
+                return s->Key(a) < s->Key(b);
               });
+  } else {
+    s->by_hash.clear();
   }
 }
 
 // Visits items with key > bound (strict) or >= bound, in key order, at most
 // `limit`; records the last visited key in *last (for scan resumption) and
 // sets *stopped when fn returns false. Returns the number of fn invocations.
-template <typename LeafT, typename Fn>
-size_t ScanRange(const LeafT* leaf, std::string_view bound, bool strict,
+template <typename Fn>
+size_t ScanRange(const LeafStore& s, std::string_view bound, bool strict,
                  size_t limit, const Fn& fn, bool* stopped, std::string* last) {
-  const auto& slots = leaf->slots;
-  auto it = std::lower_bound(leaf->by_key.begin(), leaf->by_key.end(), bound,
+  auto it = std::lower_bound(s.by_key.begin(), s.by_key.end(), bound,
                              [&](uint16_t id, std::string_view k) {
-                               return strict ? slots[id].key <= k
-                                             : slots[id].key < k;
+                               return strict ? s.Key(id) <= k : s.Key(id) < k;
                              });
   size_t emitted = 0;
-  for (; it != leaf->by_key.end() && emitted < limit; ++it) {
-    const auto& item = slots[*it];
+  for (; it != s.by_key.end() && emitted < limit; ++it) {
+    const std::string_view key = s.Key(*it);
     emitted++;
     if (last != nullptr) {
-      last->assign(item.key);
+      last->assign(key);
     }
-    if (!fn(item.key, item.value)) {
+    if (!fn(key, s.Value(*it))) {
       *stopped = true;
       break;
     }
@@ -155,8 +311,7 @@ size_t ScanRange(const LeafT* leaf, std::string_view bound, bool strict,
 // leaf's anchor A, satisfying left_max < A <= right_min. Because left_max <
 // right_min, the first byte where right_min departs from left_max exists
 // within right_min, and cutting just past it yields the separator.
-inline size_t SeparatorLen(const std::string& left_max,
-                           const std::string& right_min) {
+inline size_t SeparatorLen(std::string_view left_max, std::string_view right_min) {
   size_t i = 0;
   while (i < left_max.size() && left_max[i] == right_min[i]) {
     i++;
@@ -167,28 +322,72 @@ inline size_t SeparatorLen(const std::string& left_max,
 // Split position for a full leaf's key-ordered items: the midpoint, or with
 // `shortest_anchor` (paper section 6) the position in the middle half whose
 // separator is shortest, ties broken toward the midpoint. The new right
-// leaf's anchor is sorted[si].key truncated to
-// SeparatorLen(sorted[si-1].key, sorted[si].key).
-template <typename ItemVec>
-size_t ChooseSplitIndex(const ItemVec& sorted, bool shortest_anchor) {
-  const size_t n = sorted.size();
+// leaf's anchor is KeyAt(si) truncated to SeparatorLen(KeyAt(si-1), KeyAt(si)).
+inline size_t ChooseSplitIndex(const LeafStore& s, bool shortest_anchor) {
+  const size_t n = s.size();
   size_t si = n / 2;
   if (shortest_anchor) {
     const size_t lo = std::max<size_t>(1, n / 4);
     const size_t hi = std::min(n - 1, 3 * n / 4);
-    size_t best_len = SeparatorLen(sorted[si - 1].key, sorted[si].key);
-    for (size_t s = lo; s <= hi; s++) {
-      const size_t len = SeparatorLen(sorted[s - 1].key, sorted[s].key);
+    size_t best_len = SeparatorLen(s.KeyAt(si - 1), s.KeyAt(si));
+    for (size_t sp = lo; sp <= hi; sp++) {
+      const size_t len = SeparatorLen(s.KeyAt(sp - 1), s.KeyAt(sp));
       const auto dist = [&](size_t x) {
         return x > n / 2 ? x - n / 2 : n / 2 - x;
       };
-      if (len < best_len || (len == best_len && dist(s) < dist(si))) {
+      if (len < best_len || (len == best_len && dist(sp) < dist(si))) {
         best_len = len;
-        si = s;
+        si = sp;
       }
     }
   }
   return si;
+}
+
+// Moves the key-ordered tail [si, n) of *left into *right (assumed empty) and
+// compacts the retained head in place; rebuilds both stores' indexes.
+inline void SplitTail(LeafStore* left, LeafStore* right, size_t si,
+                      bool direct_pos) {
+  const size_t n = left->size();
+  assert(si >= 1 && si < n && right->size() == 0);
+  // Exact reservations: both post-split slabs are right-sized, so a leaf's
+  // growth slack resets to zero at every split.
+  const auto slab_bytes_of = [&](size_t from, size_t to) {
+    uint64_t bytes = 0;
+    for (size_t i = from; i < to; i++) {
+      const LeafSlot& sl = left->slots[left->by_key[i]];
+      bytes += sl.klen + (sl.vlen > kInlineValue ? sl.vlen : 0);
+    }
+    return bytes;
+  };
+  right->slots.reserve(n - si);
+  right->slab.reserve(slab_bytes_of(si, n));
+  for (size_t i = si; i < n; i++) {
+    const uint16_t id = left->by_key[i];
+    AppendRaw(right, left->Key(id), left->Value(id), left->slots[id].hash);
+  }
+  LeafStore head;
+  head.slots.reserve(si);
+  head.slab.reserve(slab_bytes_of(0, si));
+  for (size_t i = 0; i < si; i++) {
+    const uint16_t id = left->by_key[i];
+    AppendRaw(&head, left->Key(id), left->Value(id), left->slots[id].hash);
+  }
+  *left = std::move(head);
+  RebuildIndexes(left, direct_pos);
+  RebuildIndexes(right, direct_pos);
+}
+
+// Exact heap footprint of one store (the embedding Leaf's sizeof is the
+// caller's to count). by_hash is only counted under DirectPos — without it
+// the index is empty by construction and must not inflate fig. 16.
+inline uint64_t MemoryBytes(const LeafStore& s, bool direct_pos) {
+  uint64_t total = s.slots.capacity() * sizeof(LeafSlot) + s.slab.capacity();
+  total += s.by_key.capacity() * sizeof(uint16_t);
+  if (direct_pos) {
+    total += s.by_hash.capacity() * sizeof(uint16_t);
+  }
+  return total;
 }
 
 }  // namespace leafops

@@ -9,7 +9,6 @@
 #include "src/common/bytes.h"
 #include "src/common/crc32c.h"
 #include "src/common/qsbr.h"
-#include "src/core/leaf_ops.h"
 
 namespace wh {
 
@@ -30,6 +29,31 @@ struct QsbrOp {
   explicit QsbrOp(Qsbr* q) : qsbr(q), slot(q->CurrentSlot()) {}
   ~QsbrOp() { qsbr->Quiesce(slot); }
 };
+
+// Full-key CRC32C for the DirectPos in-leaf search, derived from the LPM's
+// saved prefix state: `state` hashes key[0, lo), and extending a raw CRC32C
+// state over the tail equals hashing the whole key from byte 0. Returns 0
+// when DirectPos is off (the in-leaf search is hash-free by design).
+uint32_t ExtendKvHash(bool direct_pos, uint32_t state, std::string_view key,
+                      size_t lo) {
+  if (!direct_pos) {
+    return 0;
+  }
+  return key.size() > lo ? Crc32cExtend(state, key.data() + lo, key.size() - lo)
+                         : state;
+}
+
+// Read prefetch with high temporal locality; a hint only, so a null (failed
+// optimistic load) is simply skipped.
+inline void PrefetchRead(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  if (p != nullptr) {
+    __builtin_prefetch(p, 0, 3);
+  }
+#else
+  (void)p;
+#endif
+}
 
 }  // namespace
 
@@ -88,9 +112,8 @@ WormholeUnsafe::~WormholeUnsafe() {
     l = next;
   }
   for (Bucket& b : buckets_) {
-    for (const Entry& e : b) {
-      delete e.node;
-    }
+    metabucket::ForEach(&b, [](uint16_t, Node* nd) { delete nd; });
+    metabucket::FreeOverflow(&b);
   }
 }
 
@@ -98,71 +121,34 @@ WormholeUnsafe::~WormholeUnsafe() {
 
 WormholeUnsafe::Node* WormholeUnsafe::LookupNode(uint32_t hash,
                                                  std::string_view prefix) const {
-  const Bucket& b = buckets_[hash & bucket_mask_];
-  const uint16_t tag = TagOf(hash);
-  if (opt_.sort_by_tag) {
-    auto it = std::lower_bound(
-        b.begin(), b.end(), tag,
-        [](const Entry& e, uint16_t t) { return TagOf(e.hash) < t; });
-    for (; it != b.end() && TagOf(it->hash) == tag; ++it) {
-      if (it->node->prefix == prefix) {
-        return it->node;
-      }
-    }
-    return nullptr;
-  }
-  for (const Entry& e : b) {
-    if (opt_.tag_matching && TagOf(e.hash) != tag) {
-      continue;
-    }
-    if (e.node->prefix == prefix) {
-      return e.node;
-    }
-  }
-  return nullptr;
+  return metabucket::Find(
+      &buckets_[hash & bucket_mask_], TagOf(hash), opt_.tag_matching,
+      opt_.sort_by_tag, [&](const Node* nd) { return nd->prefix == prefix; });
 }
 
 WormholeUnsafe::Node* WormholeUnsafe::LookupChild(uint32_t hash,
                                                   std::string_view prefix,
                                                   char extra) const {
-  const Bucket& b = buckets_[hash & bucket_mask_];
-  const uint16_t tag = TagOf(hash);
   const size_t len = prefix.size() + 1;
-  for (const Entry& e : b) {
-    if (opt_.tag_matching && TagOf(e.hash) != tag) {
-      continue;
-    }
-    const std::string& p = e.node->prefix;
-    if (p.size() == len && p.back() == extra &&
-        std::memcmp(p.data(), prefix.data(), prefix.size()) == 0) {
-      return e.node;
-    }
-  }
-  return nullptr;
+  return metabucket::Find(&buckets_[hash & bucket_mask_], TagOf(hash),
+                          opt_.tag_matching, opt_.sort_by_tag,
+                          [&](const Node* nd) {
+                            const std::string& p = nd->prefix;
+                            return p.size() == len && p.back() == extra &&
+                                   std::memcmp(p.data(), prefix.data(),
+                                               prefix.size()) == 0;
+                          });
 }
 
 void WormholeUnsafe::InsertEntry(uint32_t hash, Node* node) {
-  Bucket& b = buckets_[hash & bucket_mask_];
-  if (opt_.sort_by_tag) {
-    const uint16_t tag = TagOf(hash);
-    auto it = std::lower_bound(
-        b.begin(), b.end(), tag,
-        [](const Entry& e, uint16_t t) { return TagOf(e.hash) < t; });
-    b.insert(it, Entry{hash, node});
-  } else {
-    b.push_back(Entry{hash, node});
-  }
+  metabucket::Insert(&buckets_[hash & bucket_mask_], TagOf(hash), node,
+                     opt_.sort_by_tag);
 }
 
 void WormholeUnsafe::RemoveEntry(uint32_t hash, Node* node) {
-  Bucket& b = buckets_[hash & bucket_mask_];
-  for (size_t i = 0; i < b.size(); i++) {
-    if (b[i].node == node) {
-      b.erase(b.begin() + static_cast<ptrdiff_t>(i));
-      return;
-    }
-  }
-  assert(false && "MetaTrieHT entry missing on removal");
+  const bool removed = metabucket::Remove(&buckets_[hash & bucket_mask_], node);
+  (void)removed;
+  assert(removed && "MetaTrieHT entry missing on removal");
 }
 
 void WormholeUnsafe::MaybeGrowTable() {
@@ -170,12 +156,15 @@ void WormholeUnsafe::MaybeGrowTable() {
     return;
   }
   std::vector<Bucket> old = std::move(buckets_);
-  buckets_.assign(old.size() * 2, Bucket());
+  buckets_.clear();
+  buckets_.resize(old.size() * 2);
   bucket_mask_ = buckets_.size() - 1;
   for (Bucket& b : old) {
-    for (const Entry& e : b) {
-      InsertEntry(e.hash, e.node);
-    }
+    // Entries carry only the 16-bit tag; the full hash is recomputed from the
+    // node's immutable prefix (growth is rare and already O(nodes)).
+    metabucket::ForEach(
+        &b, [&](uint16_t, Node* nd) { InsertEntry(HashPrefix(nd->prefix), nd); });
+    metabucket::FreeOverflow(&b);
   }
 }
 
@@ -212,13 +201,18 @@ WormholeUnsafe::Node* WormholeUnsafe::Lpm(std::string_view key,
   return best;
 }
 
-WormholeUnsafe::Leaf* WormholeUnsafe::FindLeaf(std::string_view key) {
+WormholeUnsafe::Leaf* WormholeUnsafe::FindLeafHashed(std::string_view key,
+                                                     uint32_t* kv_hash) {
   if (opt_.count_probes) {
     lookups_.fetch_add(1, std::memory_order_relaxed);
   }
   uint32_t state;
   Node* n = Lpm(key, &state);
   const size_t m = n->prefix.size();
+  // The LPM left behind the CRC32C state of key[0, m): extending it over the
+  // tail yields the full-key hash DirectPos needs, with no second pass over
+  // the prefix bytes.
+  *kv_hash = ExtendKvHash(opt_.direct_pos, state, key, m);
   if (m == key.size()) {
     // The key itself is an anchor prefix. If it is exactly an anchor, that
     // leaf covers it; otherwise every anchor below n is longer, hence greater.
@@ -243,43 +237,51 @@ WormholeUnsafe::Leaf* WormholeUnsafe::FindLeaf(std::string_view key) {
   return child->rmost;
 }
 
+WormholeUnsafe::Leaf* WormholeUnsafe::FindLeaf(std::string_view key) {
+  uint32_t kv_hash;
+  return FindLeafHashed(key, &kv_hash);
+}
+
 // --- public single-threaded API --------------------------------------------
 
 bool WormholeUnsafe::Get(std::string_view key, std::string* value) {
-  Leaf* leaf = FindLeaf(key);
-  const int slot = leafops::FindSlot(leaf, opt_.direct_pos, key);
+  uint32_t h;
+  Leaf* leaf = FindLeafHashed(key, &h);
+  const int slot = leafops::FindSlot(leaf->store, opt_.direct_pos, key, h);
   if (slot < 0) {
     return false;
   }
   if (value != nullptr) {
-    value->assign(leaf->slots[static_cast<size_t>(slot)].value);
+    value->assign(leaf->store.Value(static_cast<uint16_t>(slot)));
   }
   return true;
 }
 
 void WormholeUnsafe::Put(std::string_view key, std::string_view value) {
-  Leaf* leaf = FindLeaf(key);
-  const int slot = leafops::FindSlot(leaf, opt_.direct_pos, key);
+  uint32_t h;
+  Leaf* leaf = FindLeafHashed(key, &h);
+  const int slot = leafops::FindSlot(leaf->store, opt_.direct_pos, key, h);
   if (slot >= 0) {
-    leaf->slots[static_cast<size_t>(slot)].value.assign(value);
+    leafops::UpdateValue(&leaf->store, static_cast<uint16_t>(slot), value);
     return;
   }
-  leafops::Insert(leaf, opt_.direct_pos, key, value);
+  leafops::Insert(&leaf->store, opt_.direct_pos, key, value, h);
   item_count_.fetch_add(1, std::memory_order_relaxed);
-  if (leaf->slots.size() > opt_.leaf_capacity) {
+  if (leaf->store.size() > opt_.leaf_capacity) {
     SplitLeaf(leaf);
   }
 }
 
 bool WormholeUnsafe::Delete(std::string_view key) {
-  Leaf* leaf = FindLeaf(key);
-  const int slot = leafops::FindSlot(leaf, opt_.direct_pos, key);
+  uint32_t h;
+  Leaf* leaf = FindLeafHashed(key, &h);
+  const int slot = leafops::FindSlot(leaf->store, opt_.direct_pos, key, h);
   if (slot < 0) {
     return false;
   }
-  leafops::Erase(leaf, opt_.direct_pos, static_cast<uint16_t>(slot));
+  leafops::Erase(&leaf->store, opt_.direct_pos, static_cast<uint16_t>(slot));
   item_count_.fetch_sub(1, std::memory_order_relaxed);
-  if (leaf->slots.empty() && leaf != head_) {
+  if (leaf->store.size() == 0 && leaf != head_) {
     RemoveLeaf(leaf);
   }
   return true;
@@ -290,8 +292,8 @@ size_t WormholeUnsafe::Scan(std::string_view start, size_t count, const ScanFn& 
   bool stopped = false;
   for (Leaf* l = FindLeaf(start); l != nullptr && emitted < count && !stopped;
        l = l->next) {
-    emitted += leafops::ScanRange(l, start, /*strict=*/false, count - emitted,
-                                  fn, &stopped, nullptr);
+    emitted += leafops::ScanRange(l->store, start, /*strict=*/false,
+                                  count - emitted, fn, &stopped, nullptr);
   }
   return emitted;
 }
@@ -299,27 +301,19 @@ size_t WormholeUnsafe::Scan(std::string_view start, size_t count, const ScanFn& 
 // --- structural changes ----------------------------------------------------
 
 void WormholeUnsafe::SplitLeaf(Leaf* left) {
-  const size_t n = left->slots.size();
+  const size_t n = left->store.size();
   assert(n >= 2);
-  // Materialize items in key order.
-  std::vector<Item> sorted;
-  sorted.reserve(n);
-  for (const uint16_t id : left->by_key) {
-    sorted.push_back(std::move(left->slots[id]));
-  }
-  const size_t si = leafops::ChooseSplitIndex(sorted, opt_.split_shortest_anchor);
-  std::string anchor = sorted[si].key.substr(
-      0, leafops::SeparatorLen(sorted[si - 1].key, sorted[si].key));
+  (void)n;
+  const size_t si =
+      leafops::ChooseSplitIndex(left->store, opt_.split_shortest_anchor);
+  const std::string_view right_min = left->store.KeyAt(si);
+  // Copy the anchor bytes out before SplitTail rewrites the slab under them.
+  std::string anchor(right_min.substr(
+      0, leafops::SeparatorLen(left->store.KeyAt(si - 1), right_min)));
 
   Leaf* right = new Leaf;
   right->anchor = std::move(anchor);
-  const auto smid = sorted.begin() + static_cast<ptrdiff_t>(si);
-  right->slots.assign(std::make_move_iterator(smid),
-                      std::make_move_iterator(sorted.end()));
-  sorted.resize(si);
-  left->slots = std::move(sorted);
-  leafops::RebuildIndexes(left, opt_.direct_pos);
-  leafops::RebuildIndexes(right, opt_.direct_pos);
+  leafops::SplitTail(&left->store, &right->store, si, opt_.direct_pos);
 
   right->next = left->next;
   right->prev = left;
@@ -367,7 +361,7 @@ void WormholeUnsafe::InsertAnchor(const std::string& anchor, Leaf* leaf) {
 }
 
 void WormholeUnsafe::RemoveLeaf(Leaf* leaf) {
-  assert(leaf != head_ && leaf->slots.empty());
+  assert(leaf != head_ && leaf->store.size() == 0);
   const std::string& a = leaf->anchor;
   // Prefix hash states, so each node lookup is O(1) after this O(L) pass.
   std::vector<uint32_t> states(a.size() + 1);
@@ -417,18 +411,14 @@ uint64_t WormholeUnsafe::MemoryBytes() const {
   uint64_t total = sizeof(*this);
   for (const Leaf* l = head_; l != nullptr; l = l->next) {
     total += sizeof(Leaf) + StrHeapBytes(l->anchor);
-    total += l->slots.capacity() * sizeof(Item);
-    total += (l->by_key.capacity() + l->by_hash.capacity()) * sizeof(uint16_t);
-    for (const Item& item : l->slots) {
-      total += StrHeapBytes(item.key) + StrHeapBytes(item.value);
-    }
+    total += leafops::MemoryBytes(l->store, opt_.direct_pos);
   }
   total += buckets_.capacity() * sizeof(Bucket);
   for (const Bucket& b : buckets_) {
-    total += b.capacity() * sizeof(Entry);
-    for (const Entry& e : b) {
-      total += sizeof(Node) + StrHeapBytes(e.node->prefix);
-    }
+    total += (metabucket::LineCount(&b) - 1) * sizeof(Bucket);  // overflow lines
+    metabucket::ForEach(&b, [&](uint16_t, const Node* nd) {
+      total += sizeof(Node) + StrHeapBytes(nd->prefix);
+    });
   }
   return total;
 }
@@ -448,7 +438,7 @@ WormholeStats WormholeUnsafe::stats() const {
 //   - All structural mutation (split / removal / table growth) happens under
 //     meta_mu_, so there is at most one structural writer; readers see any
 //     interleaving of its atomic stores and rely on leaf validation + retry.
-//   - Unlinked leaves / nodes / bucket arrays are retired to QSBR, never
+//   - Unlinked leaves / nodes / bucket lines are retired to QSBR, never
 //     freed inline: a lock-free reader routed through stale state must be
 //     able to dereference it, fail validation, and retry safely.
 
@@ -504,9 +494,7 @@ struct Wormhole::Leaf {
   // is caught by the range check in Covers); the split bump keeps the counter
   // a truthful coverage-change count for future optimistic read paths.
   std::atomic<uint64_t> version{0};
-  std::vector<detail::Item> slots;  // guarded by lock, as are the indexes
-  std::vector<uint16_t> by_key;
-  std::vector<uint16_t> by_hash;
+  leafops::LeafStore store;  // guarded by lock
 
   explicit Leaf(std::string a) : anchor(std::move(a)) {}
   bool retired() const {  // callers hold lock in either mode
@@ -516,7 +504,7 @@ struct Wormhole::Leaf {
 
 struct Wormhole::Table {
   const size_t mask;
-  std::vector<std::atomic<Bucket*>> buckets;
+  std::vector<std::atomic<Bucket*>> buckets;  // immutable COW chains
 
   explicit Table(size_t n) : mask(n - 1), buckets(n) {
     for (auto& b : buckets) {
@@ -538,8 +526,11 @@ Wormhole::Wormhole(const Options& opt, Qsbr* qsbr) : opt_(opt), qsbr_(qsbr) {
   root_->has_terminal.store(true, std::memory_order_relaxed);
   Table* t = new Table(256);
   const uint32_t h = HashPrefix({});
-  t->buckets[h & t->mask].store(new Bucket{Entry{h, root_}},
-                                std::memory_order_relaxed);
+  Bucket* b = new Bucket();
+  b->tags[0] = TagOf(h);
+  b->nodes[0] = root_;
+  b->count = 1;
+  t->buckets[h & t->mask].store(b, std::memory_order_relaxed);
   table_.store(t, std::memory_order_release);
   node_count_ = 1;
 }
@@ -550,12 +541,8 @@ Wormhole::~Wormhole() {
   Table* t = table_.load(std::memory_order_acquire);
   for (auto& slot : t->buckets) {
     Bucket* b = slot.load(std::memory_order_relaxed);
-    if (b != nullptr) {
-      for (const Entry& e : *b) {
-        delete e.node;
-      }
-      delete b;
-    }
+    metabucket::ForEach(b, [](uint16_t, Node* nd) { delete nd; });
+    metabucket::FreeChain(b);
   }
   delete t;
   for (Leaf* l = head_; l != nullptr;) {
@@ -576,54 +563,36 @@ Wormhole::~Wormhole() {
 
 // --- lock-free read path ---------------------------------------------------
 
+Wormhole::Node* Wormhole::FindNodeInChain(const Bucket* b, uint32_t hash,
+                                          std::string_view prefix) const {
+  return metabucket::Find(b, TagOf(hash), opt_.tag_matching, opt_.sort_by_tag,
+                          [&](const Node* nd) { return nd->prefix == prefix; });
+}
+
+Wormhole::Node* Wormhole::FindChildInChain(const Bucket* b, uint32_t hash,
+                                           std::string_view prefix,
+                                           char extra) const {
+  const size_t len = prefix.size() + 1;
+  return metabucket::Find(b, TagOf(hash), opt_.tag_matching, opt_.sort_by_tag,
+                          [&](const Node* nd) {
+                            const std::string& p = nd->prefix;
+                            return p.size() == len && p.back() == extra &&
+                                   std::memcmp(p.data(), prefix.data(),
+                                               prefix.size()) == 0;
+                          });
+}
+
 Wormhole::Node* Wormhole::LookupNode(const Table* t, uint32_t hash,
                                      std::string_view prefix) const {
-  const Bucket* b = t->buckets[hash & t->mask].load(std::memory_order_acquire);
-  if (b == nullptr) {
-    return nullptr;
-  }
-  const uint16_t tag = TagOf(hash);
-  if (opt_.sort_by_tag) {
-    auto it = std::lower_bound(
-        b->begin(), b->end(), tag,
-        [](const Entry& e, uint16_t tg) { return TagOf(e.hash) < tg; });
-    for (; it != b->end() && TagOf(it->hash) == tag; ++it) {
-      if (it->node->prefix == prefix) {
-        return it->node;
-      }
-    }
-    return nullptr;
-  }
-  for (const Entry& e : *b) {
-    if (opt_.tag_matching && TagOf(e.hash) != tag) {
-      continue;
-    }
-    if (e.node->prefix == prefix) {
-      return e.node;
-    }
-  }
-  return nullptr;
+  return FindNodeInChain(
+      t->buckets[hash & t->mask].load(std::memory_order_acquire), hash, prefix);
 }
 
 Wormhole::Node* Wormhole::LookupChild(const Table* t, uint32_t hash,
                                       std::string_view prefix, char extra) const {
-  const Bucket* b = t->buckets[hash & t->mask].load(std::memory_order_acquire);
-  if (b == nullptr) {
-    return nullptr;
-  }
-  const uint16_t tag = TagOf(hash);
-  const size_t len = prefix.size() + 1;
-  for (const Entry& e : *b) {
-    if (opt_.tag_matching && TagOf(e.hash) != tag) {
-      continue;
-    }
-    const std::string& p = e.node->prefix;
-    if (p.size() == len && p.back() == extra &&
-        std::memcmp(p.data(), prefix.data(), prefix.size()) == 0) {
-      return e.node;
-    }
-  }
-  return nullptr;
+  return FindChildInChain(
+      t->buckets[hash & t->mask].load(std::memory_order_acquire), hash, prefix,
+      extra);
 }
 
 Wormhole::Node* Wormhole::Lpm(const Table* t, std::string_view key,
@@ -655,7 +624,8 @@ Wormhole::Node* Wormhole::Lpm(const Table* t, std::string_view key,
   return best;
 }
 
-Wormhole::Leaf* Wormhole::RouteToLeaf(std::string_view key) const {
+Wormhole::Leaf* Wormhole::RouteToLeaf(std::string_view key,
+                                      uint32_t* kv_hash) const {
   if (opt_.count_probes) {
     lookups_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -663,6 +633,9 @@ Wormhole::Leaf* Wormhole::RouteToLeaf(std::string_view key) const {
   uint32_t state;
   Node* n = Lpm(t, key, &state);
   const size_t m = n->prefix.size();
+  // Reuse the LPM's incremental prefix state for the DirectPos full-key hash
+  // instead of rehashing the key from byte 0.
+  *kv_hash = ExtendKvHash(opt_.direct_pos, state, key, m);
   if (m == key.size()) {
     Leaf* lm = n->lmost.load(std::memory_order_acquire);
     if (lm == nullptr) {
@@ -710,9 +683,10 @@ bool Wormhole::Covers(const Leaf* leaf, std::string_view key) {
   return nx == nullptr || key < std::string_view(nx->anchor);
 }
 
-Wormhole::Leaf* Wormhole::AcquireLeaf(std::string_view key, Mode mode) {
+Wormhole::Leaf* Wormhole::AcquireLeaf(std::string_view key, Mode mode,
+                                      uint32_t* kv_hash) {
   for (int attempt = 0; attempt < 64; attempt++) {
-    Leaf* leaf = RouteToLeaf(key);
+    Leaf* leaf = RouteToLeaf(key, kv_hash);
     if (leaf == nullptr) {
       std::this_thread::yield();
       continue;
@@ -734,7 +708,7 @@ Wormhole::Leaf* Wormhole::AcquireLeaf(std::string_view key, Mode mode) {
   // Structural churn outran optimistic routing; serialize with the writers —
   // under meta_mu_ the trie is stable, so the route is exact.
   std::lock_guard<std::mutex> g(meta_mu_);
-  Leaf* leaf = RouteToLeaf(key);
+  Leaf* leaf = RouteToLeaf(key, kv_hash);
   assert(leaf != nullptr);
   if (mode == Mode::kShared) {
     leaf->lock.lock_shared();
@@ -749,11 +723,12 @@ Wormhole::Leaf* Wormhole::AcquireLeaf(std::string_view key, Mode mode) {
 
 bool Wormhole::Get(std::string_view key, std::string* value) {
   QsbrOp op(qsbr_);
-  Leaf* leaf = AcquireLeaf(key, Mode::kShared);
-  const int slot = leafops::FindSlot(leaf, opt_.direct_pos, key);
+  uint32_t h;
+  Leaf* leaf = AcquireLeaf(key, Mode::kShared, &h);
+  const int slot = leafops::FindSlot(leaf->store, opt_.direct_pos, key, h);
   const bool found = slot >= 0;
   if (found && value != nullptr) {
-    value->assign(leaf->slots[static_cast<size_t>(slot)].value);
+    value->assign(leaf->store.Value(static_cast<uint16_t>(slot)));
   }
   leaf->lock.unlock_shared();
   return found;
@@ -762,33 +737,210 @@ bool Wormhole::Get(std::string_view key, std::string* value) {
 size_t Wormhole::MultiGet(const std::vector<std::string_view>& keys,
                           std::vector<std::string>* values,
                           std::vector<uint8_t>* hits) {
-  values->resize(keys.size());
-  hits->assign(keys.size(), 0);
+  const size_t n = keys.size();
+  values->resize(n);
+  hits->assign(n, 0);
+  if (n == 0) {
+    return 0;
+  }
   QsbrOp op(qsbr_);
-  Leaf* leaf = nullptr;  // held in shared mode while non-null
   size_t found = 0;
-  for (size_t i = 0; i < keys.size(); i++) {
-    const std::string_view key = keys[i];
-    // Covers() is exactly the validation AcquireLeaf would redo; holding the
-    // shared lock keeps the leaf's range (and liveness) stable, so a covered
-    // key can be served without re-walking the MetaTrieHT.
-    if (leaf == nullptr || !Covers(leaf, key)) {
-      if (leaf != nullptr) {
-        leaf->lock.unlock_shared();
+  Leaf* held = nullptr;  // shared-locked while non-null
+
+  // The batch runs as a staged pipeline over groups of kGroup keys: every
+  // round each in-flight key consumes the bucket line prefetched for it last
+  // round, decides its next LPM probe, and prefetches that probe's line while
+  // the other keys take their turns. The serial path pays each trie-walk
+  // cache miss back-to-back; here up to kGroup misses are in flight at once.
+  constexpr size_t kGroup = 8;
+  struct Route {
+    size_t lo;   // LPM invariant: best->prefix.size() == lo and lo_state
+    size_t hi;   // hashes key[0, lo)
+    size_t m;    // candidate prefix length of the pending probe
+    uint32_t lo_state;
+    uint32_t probe_state;
+    uint32_t child_hash;
+    uint32_t kv_hash;
+    Node* best;
+    const std::atomic<Bucket*>* slot;  // pending probe's bucket head slot
+    const Bucket* line;                // loaded head for the pending probe
+    Leaf* leaf;
+    char child_byte;
+    bool lpm_done;
+    bool need_child;
+  };
+  Route rt[kGroup];
+
+  for (size_t base = 0; base < n; base += kGroup) {
+    const size_t g = std::min(kGroup, n - base);
+    const Table* t = table_.load(std::memory_order_acquire);
+    const size_t anchor_cap = max_anchor_len_.load(std::memory_order_relaxed);
+    uint64_t probes = 0;
+
+    // Stage 1: interleaved LPM binary searches. Two sub-passes per round so
+    // the bucket-slot load and the line fetch both overlap across keys.
+    size_t active = 0;
+    for (size_t i = 0; i < g; i++) {
+      Route& r = rt[i];
+      const std::string_view key = keys[base + i];
+      r.lo = 0;
+      r.hi = std::min(key.size(), anchor_cap);
+      r.lo_state = kCrc32cInit;
+      r.best = root_;
+      r.leaf = nullptr;
+      r.kv_hash = 0;
+      r.lpm_done = r.lo >= r.hi;
+      if (!r.lpm_done) {
+        r.m = (r.lo + r.hi + 1) / 2;
+        r.probe_state =
+            opt_.inc_hashing
+                ? Crc32cExtend(r.lo_state, key.data() + r.lo, r.m - r.lo)
+                : Crc32cExtend(kCrc32cInit, key.data(), r.m);
+        r.slot = &t->buckets[r.probe_state & t->mask];
+        PrefetchRead(r.slot);
+        active++;
       }
-      leaf = AcquireLeaf(key, Mode::kShared);
     }
-    const int slot = leafops::FindSlot(leaf, opt_.direct_pos, key);
-    if (slot >= 0) {
-      (*values)[i].assign(leaf->slots[static_cast<size_t>(slot)].value);
-      (*hits)[i] = 1;
-      found++;
-    } else {
-      (*values)[i].clear();
+    for (size_t i = 0; i < g; i++) {
+      Route& r = rt[i];
+      if (!r.lpm_done) {
+        r.line = r.slot->load(std::memory_order_acquire);
+        PrefetchRead(r.line);
+      }
+    }
+    while (active > 0) {
+      for (size_t i = 0; i < g; i++) {
+        Route& r = rt[i];
+        if (r.lpm_done) {
+          continue;
+        }
+        const std::string_view key = keys[base + i];
+        probes++;
+        Node* nd = FindNodeInChain(r.line, r.probe_state, key.substr(0, r.m));
+        if (nd != nullptr) {
+          r.best = nd;
+          r.lo = r.m;
+          r.lo_state = r.probe_state;
+        } else {
+          r.hi = r.m - 1;
+        }
+        if (r.lo >= r.hi) {
+          r.lpm_done = true;
+          active--;
+          continue;
+        }
+        r.m = (r.lo + r.hi + 1) / 2;
+        r.probe_state =
+            opt_.inc_hashing
+                ? Crc32cExtend(r.lo_state, key.data() + r.lo, r.m - r.lo)
+                : Crc32cExtend(kCrc32cInit, key.data(), r.m);
+        r.slot = &t->buckets[r.probe_state & t->mask];
+        PrefetchRead(r.slot);
+      }
+      for (size_t i = 0; i < g; i++) {
+        Route& r = rt[i];
+        if (!r.lpm_done) {
+          r.line = r.slot->load(std::memory_order_acquire);
+          PrefetchRead(r.line);
+        }
+      }
+    }
+
+    // Stage 2: resolve nodes to leaves, deriving each full-key hash from the
+    // LPM prefix state; child descents get the same two-step prefetch, and
+    // every resolved leaf's header line is prefetched ahead of stage 3.
+    for (size_t i = 0; i < g; i++) {
+      Route& r = rt[i];
+      const std::string_view key = keys[base + i];
+      r.kv_hash = ExtendKvHash(opt_.direct_pos, r.lo_state, key, r.lo);
+      r.need_child = false;
+      if (r.lo < key.size()) {
+        const int c = r.best->LargestChildLE(static_cast<uint8_t>(key[r.lo]));
+        if (c >= 0) {
+          r.child_byte = static_cast<char>(c);
+          r.child_hash = Crc32cExtend(r.lo_state, &r.child_byte, 1);
+          r.slot = &t->buckets[r.child_hash & t->mask];
+          PrefetchRead(r.slot);
+          r.need_child = true;
+          probes++;
+        }
+      }
+      if (!r.need_child) {
+        Leaf* lm = r.best->lmost.load(std::memory_order_acquire);
+        r.leaf = lm == nullptr
+                     ? nullptr
+                     : (r.best->has_terminal.load(std::memory_order_acquire)
+                            ? lm
+                            : lm->prev.load(std::memory_order_acquire));
+        PrefetchRead(r.leaf);
+      }
+    }
+    for (size_t i = 0; i < g; i++) {
+      Route& r = rt[i];
+      if (r.need_child) {
+        r.line = r.slot->load(std::memory_order_acquire);
+        PrefetchRead(r.line);
+      }
+    }
+    for (size_t i = 0; i < g; i++) {
+      Route& r = rt[i];
+      if (!r.need_child) {
+        continue;
+      }
+      Node* child =
+          FindChildInChain(r.line, r.child_hash, r.best->prefix, r.child_byte);
+      r.leaf =
+          child == nullptr ? nullptr : child->rmost.load(std::memory_order_acquire);
+      PrefetchRead(r.leaf);
+    }
+
+    // Stage 3: serve in batch order, reusing the held shared lock across
+    // consecutive same-leaf keys. The pipeline's route is only a hint: the
+    // leaf is locked and validated exactly like the serial path, and a stale
+    // route (or one that failed mid-publication) falls back to AcquireLeaf.
+    size_t fallbacks = 0;  // keys AcquireLeaf re-counts as fresh lookups
+    for (size_t i = 0; i < g; i++) {
+      const std::string_view key = keys[base + i];
+      Route& r = rt[i];
+      if (held == nullptr || !Covers(held, key)) {
+        if (held != nullptr) {
+          held->lock.unlock_shared();
+          held = nullptr;
+        }
+        Leaf* cand = r.leaf;
+        if (cand != nullptr) {
+          cand->lock.lock_shared();
+          if (Covers(cand, key)) {
+            held = cand;
+          } else {
+            cand->lock.unlock_shared();
+          }
+        }
+        if (held == nullptr) {
+          fallbacks++;
+          held = AcquireLeaf(key, Mode::kShared, &r.kv_hash);
+        }
+      }
+      const int slot = leafops::FindSlot(held->store, opt_.direct_pos, key,
+                                         r.kv_hash);
+      if (slot >= 0) {
+        (*values)[base + i].assign(held->store.Value(static_cast<uint16_t>(slot)));
+        (*hits)[base + i] = 1;
+        found++;
+      } else {
+        (*values)[base + i].clear();
+      }
+    }
+    if (opt_.count_probes) {
+      // A fallback key's lookup is counted by AcquireLeaf->RouteToLeaf (per
+      // attempt, matching the serial Get path); counting it here as well
+      // would inflate probes-per-lookup relative to serial measurements.
+      lookups_.fetch_add(g - fallbacks, std::memory_order_relaxed);
+      probes_.fetch_add(probes, std::memory_order_relaxed);
     }
   }
-  if (leaf != nullptr) {
-    leaf->lock.unlock_shared();
+  if (held != nullptr) {
+    held->lock.unlock_shared();
   }
   return found;
 }
@@ -797,20 +949,25 @@ void Wormhole::MultiPut(
     const std::vector<std::pair<std::string_view, std::string_view>>& items) {
   QsbrOp op(qsbr_);
   Leaf* leaf = nullptr;  // held exclusively while non-null
+  uint32_t h = 0;
   for (const auto& [key, value] : items) {
-    if (leaf == nullptr || !Covers(leaf, key)) {
+    if (leaf != nullptr && Covers(leaf, key)) {
+      // Reused route: no LPM ran for this key, so there is no prefix state
+      // to extend — derive the DirectPos hash from byte 0.
+      h = ExtendKvHash(opt_.direct_pos, kCrc32cInit, key, 0);
+    } else {
       if (leaf != nullptr) {
         leaf->lock.unlock();
       }
-      leaf = AcquireLeaf(key, Mode::kExclusive);
+      leaf = AcquireLeaf(key, Mode::kExclusive, &h);
     }
-    const int slot = leafops::FindSlot(leaf, opt_.direct_pos, key);
+    const int slot = leafops::FindSlot(leaf->store, opt_.direct_pos, key, h);
     if (slot >= 0) {
-      leaf->slots[static_cast<size_t>(slot)].value.assign(value);
+      leafops::UpdateValue(&leaf->store, static_cast<uint16_t>(slot), value);
       continue;
     }
-    if (leaf->slots.size() < opt_.leaf_capacity) {
-      leafops::Insert(leaf, opt_.direct_pos, key, value);
+    if (leaf->store.size() < opt_.leaf_capacity) {
+      leafops::Insert(&leaf->store, opt_.direct_pos, key, value, h);
       item_count_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
@@ -827,15 +984,16 @@ void Wormhole::MultiPut(
 
 void Wormhole::Put(std::string_view key, std::string_view value) {
   QsbrOp op(qsbr_);
-  Leaf* leaf = AcquireLeaf(key, Mode::kExclusive);
-  const int slot = leafops::FindSlot(leaf, opt_.direct_pos, key);
+  uint32_t h;
+  Leaf* leaf = AcquireLeaf(key, Mode::kExclusive, &h);
+  const int slot = leafops::FindSlot(leaf->store, opt_.direct_pos, key, h);
   if (slot >= 0) {
-    leaf->slots[static_cast<size_t>(slot)].value.assign(value);
+    leafops::UpdateValue(&leaf->store, static_cast<uint16_t>(slot), value);
     leaf->lock.unlock();
     return;
   }
-  if (leaf->slots.size() < opt_.leaf_capacity) {
-    leafops::Insert(leaf, opt_.direct_pos, key, value);
+  if (leaf->store.size() < opt_.leaf_capacity) {
+    leafops::Insert(&leaf->store, opt_.direct_pos, key, value, h);
     item_count_.fetch_add(1, std::memory_order_relaxed);
     leaf->lock.unlock();
     return;
@@ -849,33 +1007,35 @@ void Wormhole::PutSlow(std::string_view key, std::string_view value) {
   // Re-resolve the leaf: between the fast path dropping its lock and this
   // point, a concurrent writer may have split (or emptied and removed) the
   // leaf the fast path saw, so the cached pointer must not be trusted.
-  Leaf* leaf = RouteToLeaf(key);
+  uint32_t h;
+  Leaf* leaf = RouteToLeaf(key, &h);
   leaf->lock.lock();
-  const int slot = leafops::FindSlot(leaf, opt_.direct_pos, key);
+  const int slot = leafops::FindSlot(leaf->store, opt_.direct_pos, key, h);
   if (slot >= 0) {
-    leaf->slots[static_cast<size_t>(slot)].value.assign(value);
+    leafops::UpdateValue(&leaf->store, static_cast<uint16_t>(slot), value);
     leaf->lock.unlock();
     return;
   }
-  if (leaf->slots.size() < opt_.leaf_capacity) {  // a concurrent split made room
-    leafops::Insert(leaf, opt_.direct_pos, key, value);
+  if (leaf->store.size() < opt_.leaf_capacity) {  // a concurrent split made room
+    leafops::Insert(&leaf->store, opt_.direct_pos, key, value, h);
     item_count_.fetch_add(1, std::memory_order_relaxed);
     leaf->lock.unlock();
     return;
   }
-  SplitAndInsert(leaf, key, value);  // releases the leaf lock
+  SplitAndInsert(leaf, key, value, h);  // releases the leaf lock
 }
 
 bool Wormhole::Delete(std::string_view key) {
   QsbrOp op(qsbr_);
-  Leaf* leaf = AcquireLeaf(key, Mode::kExclusive);
-  const int slot = leafops::FindSlot(leaf, opt_.direct_pos, key);
+  uint32_t h;
+  Leaf* leaf = AcquireLeaf(key, Mode::kExclusive, &h);
+  const int slot = leafops::FindSlot(leaf->store, opt_.direct_pos, key, h);
   if (slot < 0) {
     leaf->lock.unlock();
     return false;
   }
-  if (leaf->slots.size() > 1 || leaf == head_) {
-    leafops::Erase(leaf, opt_.direct_pos, static_cast<uint16_t>(slot));
+  if (leaf->store.size() > 1 || leaf == head_) {
+    leafops::Erase(&leaf->store, opt_.direct_pos, static_cast<uint16_t>(slot));
     item_count_.fetch_sub(1, std::memory_order_relaxed);
     leaf->lock.unlock();
     return true;
@@ -887,16 +1047,17 @@ bool Wormhole::Delete(std::string_view key) {
 
 bool Wormhole::DeleteSlow(std::string_view key) {
   std::lock_guard<std::mutex> g(meta_mu_);
-  Leaf* leaf = RouteToLeaf(key);  // re-resolve, as in PutSlow
+  uint32_t h;
+  Leaf* leaf = RouteToLeaf(key, &h);  // re-resolve, as in PutSlow
   leaf->lock.lock();
-  const int slot = leafops::FindSlot(leaf, opt_.direct_pos, key);
+  const int slot = leafops::FindSlot(leaf->store, opt_.direct_pos, key, h);
   if (slot < 0) {
     leaf->lock.unlock();
     return false;
   }
-  leafops::Erase(leaf, opt_.direct_pos, static_cast<uint16_t>(slot));
+  leafops::Erase(&leaf->store, opt_.direct_pos, static_cast<uint16_t>(slot));
   item_count_.fetch_sub(1, std::memory_order_relaxed);
-  if (leaf->slots.empty() && leaf != head_) {
+  if (leaf->store.size() == 0 && leaf != head_) {
     RemoveLeafLocked(leaf);
   }
   leaf->lock.unlock();
@@ -912,11 +1073,12 @@ size_t Wormhole::Scan(std::string_view start, size_t count, const ScanFn& fn) {
   bool stopped = false;
   std::string resume(start);
   bool strict = false;  // the original start bound is inclusive
-  Leaf* leaf = AcquireLeaf(resume, Mode::kShared);
+  uint32_t h;
+  Leaf* leaf = AcquireLeaf(resume, Mode::kShared, &h);
   while (leaf != nullptr && emitted < count && !stopped) {
     std::string last;
-    const size_t got = leafops::ScanRange(leaf, resume, strict, count - emitted,
-                                          fn, &stopped, &last);
+    const size_t got = leafops::ScanRange(leaf->store, resume, strict,
+                                          count - emitted, fn, &stopped, &last);
     emitted += got;
     if (got > 0) {
       resume = std::move(last);
@@ -939,7 +1101,7 @@ size_t Wormhole::Scan(std::string_view start, size_t count, const ScanFn& fn) {
       // The successor was emptied and removed mid-handoff; re-route from the
       // last emitted key.
       nx->lock.unlock_shared();
-      leaf = AcquireLeaf(resume, Mode::kShared);
+      leaf = AcquireLeaf(resume, Mode::kShared, &h);
       continue;
     }
     leaf = nx;
@@ -953,19 +1115,13 @@ void Wormhole::InsertEntry(uint32_t hash, Node* node) {
   Table* t = table_.load(std::memory_order_relaxed);
   std::atomic<Bucket*>& slot = t->buckets[hash & t->mask];
   Bucket* old = slot.load(std::memory_order_relaxed);
-  Bucket* nb = old != nullptr ? new Bucket(*old) : new Bucket();
-  if (opt_.sort_by_tag) {
-    const uint16_t tag = TagOf(hash);
-    auto it = std::lower_bound(
-        nb->begin(), nb->end(), tag,
-        [](const Entry& e, uint16_t tg) { return TagOf(e.hash) < tg; });
-    nb->insert(it, Entry{hash, node});
-  } else {
-    nb->push_back(Entry{hash, node});
-  }
+  Bucket* nb = metabucket::CopyChain(old);
+  metabucket::Insert(nb, TagOf(hash), node, opt_.sort_by_tag);
   slot.store(nb, std::memory_order_release);
-  if (old != nullptr) {
-    qsbr_->Retire(old);
+  for (Bucket* l = old; l != nullptr;) {
+    Bucket* nx = l->next;  // immutable under meta_mu_; Retire only defers free
+    qsbr_->Retire(l);
+    l = nx;
   }
 }
 
@@ -973,17 +1129,16 @@ void Wormhole::RemoveEntry(uint32_t hash, Node* node) {
   Table* t = table_.load(std::memory_order_relaxed);
   std::atomic<Bucket*>& slot = t->buckets[hash & t->mask];
   Bucket* old = slot.load(std::memory_order_relaxed);
-  assert(old != nullptr);
-  Bucket* nb = new Bucket();
-  nb->reserve(old->size() - 1);
-  for (const Entry& e : *old) {
-    if (e.node != node) {
-      nb->push_back(e);
-    }
+  bool found = false;
+  Bucket* nb = metabucket::CopyChainExcept(old, node, &found);
+  (void)found;
+  assert(found && "MetaTrieHT entry missing on removal");
+  slot.store(nb, std::memory_order_release);  // nb may be null: bucket emptied
+  for (Bucket* l = old; l != nullptr;) {
+    Bucket* nx = l->next;
+    qsbr_->Retire(l);
+    l = nx;
   }
-  assert(nb->size() + 1 == old->size() && "MetaTrieHT entry missing on removal");
-  slot.store(nb, std::memory_order_release);
-  qsbr_->Retire(old);
 }
 
 void Wormhole::MaybeGrowTable() {
@@ -992,29 +1147,27 @@ void Wormhole::MaybeGrowTable() {
     return;
   }
   Table* nt = new Table(t->buckets.size() * 2);
-  std::vector<Bucket> rehashed(nt->buckets.size());
   for (auto& bp : t->buckets) {
     const Bucket* b = bp.load(std::memory_order_relaxed);
-    if (b == nullptr) {
-      continue;
-    }
-    // Splitting a tag-sorted bucket by one hash bit preserves relative order,
-    // so the rehashed buckets stay tag-sorted.
-    for (const Entry& e : *b) {
-      rehashed[e.hash & nt->mask].push_back(e);
-    }
-  }
-  for (size_t i = 0; i < rehashed.size(); i++) {
-    if (!rehashed[i].empty()) {
-      nt->buckets[i].store(new Bucket(std::move(rehashed[i])),
-                           std::memory_order_relaxed);
-    }
+    // Rehash from each node's immutable prefix (entries carry only the tag);
+    // pre-publication, so plain stores and in-place chain inserts are fine.
+    metabucket::ForEach(b, [&](uint16_t, Node* nd) {
+      const uint32_t h = HashPrefix(nd->prefix);
+      std::atomic<Bucket*>& ns = nt->buckets[h & nt->mask];
+      Bucket* head = ns.load(std::memory_order_relaxed);
+      if (head == nullptr) {
+        head = new Bucket();
+        ns.store(head, std::memory_order_relaxed);
+      }
+      metabucket::Insert(head, TagOf(h), nd, opt_.sort_by_tag);
+    });
   }
   table_.store(nt, std::memory_order_release);
   for (auto& bp : t->buckets) {
-    Bucket* b = bp.load(std::memory_order_relaxed);
-    if (b != nullptr) {
-      qsbr_->Retire(b);
+    for (Bucket* l = bp.load(std::memory_order_relaxed); l != nullptr;) {
+      Bucket* nx = l->next;
+      qsbr_->Retire(l);
+      l = nx;
     }
   }
   qsbr_->Retire(t);
@@ -1063,36 +1216,27 @@ void Wormhole::InsertAnchor(const std::string& anchor, Leaf* leaf) {
 }
 
 void Wormhole::SplitAndInsert(Leaf* left, std::string_view key,
-                              std::string_view value) {
+                              std::string_view value, uint32_t kv_hash) {
   // Preconditions: meta_mu_ and left->lock (exclusive) held; left is full and
   // does not contain key.
-  const size_t n = left->slots.size();
+  const size_t n = left->store.size();
   assert(n >= 2);
-  std::vector<detail::Item> sorted;
-  sorted.reserve(n);
-  for (const uint16_t id : left->by_key) {
-    sorted.push_back(std::move(left->slots[id]));
-  }
-  const size_t si = leafops::ChooseSplitIndex(sorted, opt_.split_shortest_anchor);
-  Leaf* right = new Leaf(sorted[si].key.substr(
-      0, leafops::SeparatorLen(sorted[si - 1].key, sorted[si].key)));
-  const auto smid = sorted.begin() + static_cast<ptrdiff_t>(si);
-  right->slots.assign(std::make_move_iterator(smid),
-                      std::make_move_iterator(sorted.end()));
-  sorted.resize(si);
-  left->slots = std::move(sorted);
+  (void)n;
+  const size_t si =
+      leafops::ChooseSplitIndex(left->store, opt_.split_shortest_anchor);
+  const std::string_view right_min = left->store.KeyAt(si);
+  // Copy the anchor bytes out before SplitTail rewrites the slab under them.
+  Leaf* right = new Leaf(std::string(right_min.substr(
+      0, leafops::SeparatorLen(left->store.KeyAt(si - 1), right_min))));
+  leafops::SplitTail(&left->store, &right->store, si, opt_.direct_pos);
   // The new item goes to whichever side covers it — placed before publication,
   // so no second published-leaf lock is ever taken.
-  const uint32_t h =
-      opt_.direct_pos ? Crc32cExtend(kCrc32cInit, key.data(), key.size()) : 0;
   if (key < std::string_view(right->anchor)) {
-    left->slots.push_back({h, std::string(key), std::string(value)});
+    leafops::Insert(&left->store, opt_.direct_pos, key, value, kv_hash);
   } else {
-    right->slots.push_back({h, std::string(key), std::string(value)});
+    leafops::Insert(&right->store, opt_.direct_pos, key, value, kv_hash);
   }
   item_count_.fetch_add(1, std::memory_order_relaxed);
-  leafops::RebuildIndexes(left, opt_.direct_pos);
-  leafops::RebuildIndexes(right, opt_.direct_pos);
 
   // Publish: first link the fully built leaf into the list (the release store
   // to left->next publishes right's fields), then add its anchor to the trie.
@@ -1115,7 +1259,7 @@ void Wormhole::SplitAndInsert(Leaf* left, std::string_view key,
 void Wormhole::RemoveLeafLocked(Leaf* leaf) {
   // Preconditions: meta_mu_ and leaf->lock (exclusive) held; leaf is empty
   // and is not head_.
-  assert(leaf != head_ && leaf->slots.empty());
+  assert(leaf != head_ && leaf->store.size() == 0);
   leaf->version.fetch_add(1, std::memory_order_release);  // odd: retired
   const std::string& a = leaf->anchor;
   std::vector<uint32_t> states(a.size() + 1);
@@ -1173,23 +1317,16 @@ uint64_t Wormhole::MemoryBytes() const {
   for (Leaf* l = head_; l != nullptr; l = l->next.load(std::memory_order_relaxed)) {
     std::shared_lock<std::shared_mutex> lk(l->lock);
     total += sizeof(Leaf) + StrHeapBytes(l->anchor);
-    total += l->slots.capacity() * sizeof(detail::Item);
-    total += (l->by_key.capacity() + l->by_hash.capacity()) * sizeof(uint16_t);
-    for (const detail::Item& item : l->slots) {
-      total += StrHeapBytes(item.key) + StrHeapBytes(item.value);
-    }
+    total += leafops::MemoryBytes(l->store, opt_.direct_pos);
   }
   const Table* t = table_.load(std::memory_order_relaxed);
   total += sizeof(Table) + t->buckets.size() * sizeof(std::atomic<Bucket*>);
   for (const auto& bp : t->buckets) {
     const Bucket* b = bp.load(std::memory_order_relaxed);
-    if (b == nullptr) {
-      continue;
-    }
-    total += sizeof(Bucket) + b->capacity() * sizeof(Entry);
-    for (const Entry& e : *b) {
-      total += sizeof(Node) + StrHeapBytes(e.node->prefix);
-    }
+    total += metabucket::LineCount(b) * sizeof(Bucket);
+    metabucket::ForEach(b, [&](uint16_t, const Node* nd) {
+      total += sizeof(Node) + StrHeapBytes(nd->prefix);
+    });
   }
   return total;
 }

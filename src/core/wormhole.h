@@ -13,6 +13,18 @@
 // uses the child bitmap to locate the leaf whose anchor range covers the key —
 // no tree descent, so the cost is independent of the key count N.
 //
+// Memory layout (the cache-conscious core):
+//   - MetaTrieHT buckets are chains of fixed 8-entry 64-byte-aligned lines
+//     (src/core/meta_bucket.h): inline 16-bit tags, so a negative probe in
+//     the LPM binary search touches exactly one cache line. The sizing policy
+//     (grow at 2 entries/bucket) keeps chains at one line almost always.
+//   - Leaf items live in one contiguous per-leaf slab (src/core/leaf_ops.h):
+//     fixed 24-byte slots with offset/length-encoded keys and inline short
+//     values — no per-item std::string headers or heap allocations.
+//   - The full-key hash the DirectPos in-leaf search needs is derived by
+//     extending the LPM's incremental CRC32C prefix state over the key's
+//     tail, never by rehashing from byte 0.
+//
 // Options gates the paper's Fig. 11 ablation ladder (each optimization layered
 // on the previous):
 //   tag_matching  compare a 16-bit hash tag before any string comparison
@@ -31,20 +43,20 @@
 // paper's Fig. 9 exists to rule out. The wrapper is gone. Instead:
 //
 //   - Readers never take any structure-wide lock. A lookup walks the
-//     MetaTrieHT lock-free (hash buckets are immutable copy-on-write arrays
-//     published by atomic pointer stores; trie-node fields are word-sized
-//     atomics), then takes only the target leaf's reader-writer lock and
-//     validates that the leaf still covers the key: its version counter —
-//     bumped on every structural change, odd once the leaf is retired — must
-//     be even, and the key must fall inside [anchor, next->anchor). A stale
-//     route simply retries; after a bounded number of attempts it falls back
-//     to serializing with writers.
+//     MetaTrieHT lock-free (hash-bucket lines are immutable copy-on-write
+//     chains published by atomic pointer stores; trie-node fields are
+//     word-sized atomics), then takes only the target leaf's reader-writer
+//     lock and validates that the leaf still covers the key: its version
+//     counter — bumped on every structural change, odd once the leaf is
+//     retired — must be even, and the key must fall inside
+//     [anchor, next->anchor). A stale route simply retries; after a bounded
+//     number of attempts it falls back to serializing with writers.
 //   - In-leaf writes (update / insert with room / non-emptying delete) take
 //     only that leaf's lock.
 //   - Structural changes (leaf split, empty-leaf removal, table growth)
 //     serialize on one internal mutex — they are rare, O(items/capacity) —
 //     and publish new state with release stores. Replaced leaves, trie nodes
-//     and bucket arrays are handed to QSBR (src/common/qsbr.h) and freed only
+//     and bucket lines are handed to QSBR (src/common/qsbr.h) and freed only
 //     after every thread passes a quiescent state, so lock-free readers can
 //     keep dereferencing what they already found.
 //
@@ -71,16 +83,10 @@
 
 #include "src/common/qsbr.h"
 #include "src/common/scan.h"
+#include "src/core/leaf_ops.h"
+#include "src/core/meta_bucket.h"
 
 namespace wh {
-
-namespace detail {
-struct Item {
-  uint32_t hash;  // raw CRC32C state of the full key
-  std::string key;
-  std::string value;
-};
-}  // namespace detail
 
 struct Options {
   bool tag_matching = true;
@@ -110,18 +116,14 @@ struct WormholeStats {
 // Single-threaded Wormhole core. Not safe for any concurrent use.
 class WormholeUnsafe {
  public:
-  using Item = detail::Item;
-
-  // Leaf items sit in `slots` at stable positions (append on insert,
-  // swap-with-last on erase); `by_key` holds slot ids in key order and
-  // `by_hash` (DirectPos only) holds them in (hash, key) order.
+  // Leaf items live in a slab-backed LeafStore (see leaf_ops.h): fixed slots
+  // at stable ids, `by_key` in key order, `by_hash` in (hash, key) order
+  // (DirectPos only), all key/value bytes in one contiguous slab.
   struct Leaf {
     std::string anchor;
     Leaf* prev = nullptr;
     Leaf* next = nullptr;
-    std::vector<Item> slots;
-    std::vector<uint16_t> by_key;
-    std::vector<uint16_t> by_hash;
+    leafops::LeafStore store;
   };
 
   WormholeUnsafe() : WormholeUnsafe(Options()) {}
@@ -147,11 +149,7 @@ class WormholeUnsafe {
 
  private:
   struct Node;
-  struct Entry {
-    uint32_t hash;  // full prefix hash; tag = hash >> 16
-    Node* node;
-  };
-  using Bucket = std::vector<Entry>;
+  using Bucket = metabucket::BucketLine<Node>;
 
   Node* LookupNode(uint32_t hash, std::string_view prefix) const;
   // Node for prefix+extra (the child-descent step, avoiding concatenation).
@@ -163,13 +161,16 @@ class WormholeUnsafe {
   // Longest prefix of `key` present in the trie; *state_out receives the raw
   // CRC32C state of that prefix.
   Node* Lpm(std::string_view key, uint32_t* state_out);
+  // FindLeaf plus the full-key hash (the LPM prefix state extended over the
+  // key's tail) when DirectPos is on; *kv_hash is 0 otherwise.
+  Leaf* FindLeafHashed(std::string_view key, uint32_t* kv_hash);
 
   void SplitLeaf(Leaf* leaf);
   void InsertAnchor(const std::string& anchor, Leaf* leaf);
   void RemoveLeaf(Leaf* leaf);
 
   Options opt_;
-  std::vector<Bucket> buckets_;
+  std::vector<Bucket> buckets_;  // line heads embedded in the table array
   size_t bucket_mask_ = 0;
   size_t node_count_ = 0;
   Leaf* head_ = nullptr;
@@ -202,9 +203,14 @@ class Wormhole {
 
   // Batched point lookups. values and hits are resized to keys.size(); on a
   // miss the value slot is cleared and the hit byte is 0. The whole batch
-  // runs under one quiescent-state report, and consecutive keys that fall in
-  // the same leaf reuse the held leaf lock instead of re-walking the
-  // MetaTrieHT — sorted batches maximize the reuse. Returns the hit count.
+  // runs under one quiescent-state report. Keys are routed through a
+  // prefetch-interleaved pipeline in groups of ~8: each round issues one LPM
+  // hash probe per in-flight key and prefetches the next bucket line while
+  // the other keys' probes execute, then leaf headers are prefetched before
+  // the in-leaf searches run — so the batch overlaps the memory latencies a
+  // serial loop would pay back-to-back. Consecutive keys that land in the
+  // same leaf still reuse the held leaf lock (sorted batches maximize the
+  // reuse). Returns the hit count.
   size_t MultiGet(const std::vector<std::string_view>& keys,
                   std::vector<std::string>* values, std::vector<uint8_t>* hits);
 
@@ -222,29 +228,31 @@ class Wormhole {
  private:
   struct Node;
   struct Leaf;
-  struct Entry {
-    uint32_t hash;
-    Node* node;
-  };
-  // Immutable once published: updates build a copy and swing the bucket
-  // pointer; the old array is retired via QSBR.
-  using Bucket = std::vector<Entry>;
+  // Immutable once published: updates build a copy of the line chain and
+  // swing the bucket head pointer; the old lines are retired via QSBR.
+  using Bucket = metabucket::BucketLine<Node>;
   struct Table;
 
   enum class Mode { kShared, kExclusive };
 
   // Lock-free read path.
+  Node* FindNodeInChain(const Bucket* b, uint32_t hash,
+                        std::string_view prefix) const;
+  Node* FindChildInChain(const Bucket* b, uint32_t hash, std::string_view prefix,
+                         char extra) const;
   Node* LookupNode(const Table* t, uint32_t hash, std::string_view prefix) const;
   Node* LookupChild(const Table* t, uint32_t hash, std::string_view prefix,
                     char extra) const;
   Node* Lpm(const Table* t, std::string_view key, uint32_t* state_out) const;
   // Best-effort route to the covering leaf; may return nullptr or a stale
   // leaf during a concurrent structural change (callers validate + retry).
-  Leaf* RouteToLeaf(std::string_view key) const;
+  // When DirectPos is on and the route succeeds, *kv_hash receives the
+  // full-key hash extended from the LPM prefix state.
+  Leaf* RouteToLeaf(std::string_view key, uint32_t* kv_hash) const;
   // Route + lock + validate, retrying on concurrent splits/merges; falls back
   // to serializing with structural writers after bounded retries. Returns the
-  // leaf with its lock held in `mode`.
-  Leaf* AcquireLeaf(std::string_view key, Mode mode);
+  // leaf with its lock held in `mode` and fills *kv_hash as RouteToLeaf does.
+  Leaf* AcquireLeaf(std::string_view key, Mode mode, uint32_t* kv_hash);
   static bool Covers(const Leaf* leaf, std::string_view key);
 
   // Structural writers (meta_mu_ held).
@@ -252,7 +260,8 @@ class Wormhole {
   void RemoveEntry(uint32_t hash, Node* node);
   void MaybeGrowTable();
   void InsertAnchor(const std::string& anchor, Leaf* leaf);
-  void SplitAndInsert(Leaf* leaf, std::string_view key, std::string_view value);
+  void SplitAndInsert(Leaf* leaf, std::string_view key, std::string_view value,
+                      uint32_t kv_hash);
   void RemoveLeafLocked(Leaf* leaf);
   void PutSlow(std::string_view key, std::string_view value);
   bool DeleteSlow(std::string_view key);

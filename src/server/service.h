@@ -10,7 +10,9 @@
 // Gets and Puts are executed through the core's batch entry points
 // (Wormhole::MultiGet / MultiPut), which serve a whole run under one
 // quiescent-state report and reuse a held leaf lock across keys that land in
-// the same leaf — the QSBR- and lock-amortization that makes batching pay.
+// the same leaf; MultiGet additionally routes the run through the core's
+// prefetch-interleaved lookup pipeline (~8 trie walks in flight at once) —
+// the QSBR-, lock- and memory-latency amortization that makes batching pay.
 //
 // Ordering contract: requests to the same shard (hence: all requests touching
 // any single key) are applied in batch order. Requests to different shards

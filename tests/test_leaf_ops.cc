@@ -1,0 +1,242 @@
+// Property tests for the slab-backed LeafStore (src/core/leaf_ops.h): random
+// Insert / UpdateValue / Erase / RebuildIndexes / Compact sequences must keep
+// `slots`, `by_key`, `by_hash` and the slab encoding mutually consistent, and
+// FindSlot must agree with a std::map oracle at every step. Value lengths
+// straddle the inline threshold so every encoding transition (inline <->
+// out-of-line, in-place overwrite, relocating overwrite) is exercised.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/crc32c.h"
+#include "src/common/rng.h"
+#include "src/core/leaf_ops.h"
+
+namespace wh {
+namespace {
+
+using leafops::kInlineValue;
+using leafops::LeafStore;
+
+uint32_t FullHash(std::string_view key) {
+  return Crc32cExtend(kCrc32cInit, key.data(), key.size());
+}
+
+// Every structural invariant of one store, checked against the oracle.
+void CheckStore(const LeafStore& s, bool direct_pos,
+                const std::map<std::string, std::string>& oracle) {
+  ASSERT_EQ(s.size(), oracle.size());
+  ASSERT_EQ(s.by_key.size(), s.slots.size());
+  ASSERT_EQ(s.by_hash.size(), direct_pos ? s.slots.size() : 0u);
+  ASSERT_LE(s.dead, s.slab.size());
+
+  // by_key is a permutation of slot ids in strict key order, and the decoded
+  // (key, value) sequence equals the oracle's.
+  std::vector<bool> seen(s.slots.size(), false);
+  auto it = oracle.begin();
+  for (size_t i = 0; i < s.by_key.size(); i++, ++it) {
+    const uint16_t id = s.by_key[i];
+    ASSERT_LT(id, s.slots.size());
+    ASSERT_FALSE(seen[id]);
+    seen[id] = true;
+    ASSERT_EQ(s.Key(id), std::string_view(it->first));
+    ASSERT_EQ(s.Value(id), std::string_view(it->second));
+    if (i > 0) {
+      ASSERT_LT(s.KeyAt(i - 1), s.KeyAt(i));
+    }
+  }
+
+  if (direct_pos) {
+    // by_hash is a permutation in (hash, key) order, and each slot's cached
+    // hash is the full-key CRC32C.
+    std::vector<bool> hseen(s.slots.size(), false);
+    for (size_t i = 0; i < s.by_hash.size(); i++) {
+      const uint16_t id = s.by_hash[i];
+      ASSERT_LT(id, s.slots.size());
+      ASSERT_FALSE(hseen[id]);
+      hseen[id] = true;
+      ASSERT_EQ(s.slots[id].hash, FullHash(s.Key(id)));
+      if (i > 0) {
+        const uint16_t pid = s.by_hash[i - 1];
+        const bool ordered =
+            s.slots[pid].hash < s.slots[id].hash ||
+            (s.slots[pid].hash == s.slots[id].hash && s.Key(pid) < s.Key(id));
+        ASSERT_TRUE(ordered) << "by_hash out of order at " << i;
+      }
+    }
+  }
+
+  // FindSlot agrees with the oracle for every present key and for probes.
+  for (const auto& [key, value] : oracle) {
+    const int slot = leafops::FindSlot(s, direct_pos, key, FullHash(key));
+    ASSERT_GE(slot, 0) << key;
+    ASSERT_EQ(s.Value(static_cast<uint16_t>(slot)), std::string_view(value));
+  }
+  const std::string absent = "\xff\xff-definitely-absent";
+  ASSERT_EQ(leafops::FindSlot(s, direct_pos, absent, FullHash(absent)), -1);
+}
+
+std::string RandomValue(Rng& rng) {
+  // Lengths 0..(3*kInlineValue): below, at, and well past the inline cutoff.
+  const size_t len = rng.NextBounded(3 * kInlineValue + 1);
+  std::string v;
+  for (size_t i = 0; i < len; i++) {
+    v.push_back(static_cast<char>('a' + rng.NextBounded(26)));
+  }
+  return v;
+}
+
+void RunRandomized(bool direct_pos, uint64_t seed) {
+  SCOPED_TRACE(std::string("direct_pos=") + (direct_pos ? "on" : "off"));
+  Rng rng(seed);
+  LeafStore store;
+  std::map<std::string, std::string> oracle;
+  // A small closed key universe maximizes update/erase/reinsert collisions.
+  std::vector<std::string> pool;
+  for (int i = 0; i < 64; i++) {
+    pool.push_back("key-" + std::to_string(rng.NextBounded(1000)) + "-" +
+                   std::to_string(i));
+  }
+
+  for (int op = 0; op < 4000; op++) {
+    const std::string& key = pool[rng.NextBounded(pool.size())];
+    const uint64_t roll = rng.NextBounded(100);
+    const int slot = leafops::FindSlot(store, direct_pos, key, FullHash(key));
+    ASSERT_EQ(slot >= 0, oracle.count(key) == 1) << "op " << op;
+    if (roll < 45) {  // upsert
+      const std::string value = RandomValue(rng);
+      if (slot >= 0) {
+        leafops::UpdateValue(&store, static_cast<uint16_t>(slot), value);
+      } else {
+        leafops::Insert(&store, direct_pos, key, value, FullHash(key));
+      }
+      oracle[key] = value;
+    } else if (roll < 75) {  // erase
+      if (slot >= 0) {
+        leafops::Erase(&store, direct_pos, static_cast<uint16_t>(slot));
+        oracle.erase(key);
+      }
+    } else if (roll < 85) {  // bulk-rebuild (the split path's index refresh)
+      leafops::RebuildIndexes(&store, direct_pos);
+    } else if (roll < 90) {  // forced compaction
+      leafops::Compact(&store);
+      ASSERT_EQ(store.dead, 0u);
+    }
+    if (op % 97 == 0 || op == 3999) {
+      CheckStore(store, direct_pos, oracle);
+    }
+  }
+  CheckStore(store, direct_pos, oracle);
+}
+
+TEST(LeafOps, RandomizedAgainstOracleDirectPos) { RunRandomized(true, 0xfeedu); }
+
+TEST(LeafOps, RandomizedAgainstOracleNoDirectPos) {
+  RunRandomized(false, 0xbeefu);
+}
+
+TEST(LeafOps, SplitTailPartitionsAndCompacts) {
+  for (const bool direct_pos : {true, false}) {
+    SCOPED_TRACE(direct_pos);
+    Rng rng(11);
+    LeafStore left;
+    std::map<std::string, std::string> oracle;
+    for (int i = 0; i < 101; i++) {
+      const std::string key = "split-" + std::to_string(rng.NextBounded(100000));
+      const std::string value = RandomValue(rng);
+      if (leafops::FindSlot(left, direct_pos, key, FullHash(key)) < 0) {
+        leafops::Insert(&left, direct_pos, key, value, FullHash(key));
+        oracle[key] = value;
+      }
+    }
+    // A few erases so the pre-split store carries dead bytes SplitTail must
+    // not copy.
+    for (int i = 0; i < 10; i++) {
+      const uint16_t id = left.by_key[rng.NextBounded(left.size())];
+      oracle.erase(std::string(left.Key(id)));
+      leafops::Erase(&left, direct_pos, id);
+    }
+    const size_t si = leafops::ChooseSplitIndex(left, false);
+    const std::string pivot(left.KeyAt(si));
+
+    LeafStore right;
+    leafops::SplitTail(&left, &right, si, direct_pos);
+    ASSERT_EQ(left.dead, 0u);
+    ASSERT_EQ(right.dead, 0u);
+    std::map<std::string, std::string> lo(oracle.begin(), oracle.find(pivot));
+    std::map<std::string, std::string> hi(oracle.find(pivot), oracle.end());
+    CheckStore(left, direct_pos, lo);
+    CheckStore(right, direct_pos, hi);
+    ASSERT_LT(left.KeyAt(left.size() - 1), std::string_view(pivot));
+    ASSERT_EQ(right.KeyAt(0), std::string_view(pivot));
+  }
+}
+
+TEST(LeafOps, UpdateValueTransitionsAndDeadAccounting) {
+  LeafStore s;
+  const std::string key = "the-key";
+  const std::string small(kInlineValue, 's');
+  const std::string big(4 * kInlineValue, 'b');
+  const std::string bigger(8 * kInlineValue, 'B');
+  leafops::Insert(&s, true, key, small, FullHash(key));
+  const size_t key_bytes = s.slab.size();
+  ASSERT_EQ(key_bytes, key.size());  // inline value wrote nothing to the slab
+
+  const auto slot0 = static_cast<uint16_t>(leafops::FindSlot(s, true, key, FullHash(key)));
+  leafops::UpdateValue(&s, slot0, big);  // inline -> out-of-line
+  ASSERT_EQ(s.Value(slot0), std::string_view(big));
+  ASSERT_EQ(s.slab.size(), key_bytes + big.size());
+  ASSERT_EQ(s.dead, 0u);
+
+  leafops::UpdateValue(&s, slot0, bigger);  // relocate: old span goes dead
+  ASSERT_EQ(s.Value(slot0), std::string_view(bigger));
+  ASSERT_EQ(s.dead, big.size());
+
+  const std::string shrunk(2 * kInlineValue, 'c');
+  leafops::UpdateValue(&s, slot0, shrunk);  // in-place shrink
+  ASSERT_EQ(s.Value(slot0), std::string_view(shrunk));
+  ASSERT_EQ(s.dead, big.size() + (bigger.size() - shrunk.size()));
+
+  leafops::UpdateValue(&s, slot0, small);  // out-of-line -> inline
+  ASSERT_EQ(s.Value(slot0), std::string_view(small));
+
+  leafops::Compact(&s);
+  ASSERT_EQ(s.dead, 0u);
+  ASSERT_EQ(s.slab.size(), key.size());
+  ASSERT_EQ(s.Key(slot0), std::string_view(key));
+  ASSERT_EQ(s.Value(slot0), std::string_view(small));
+}
+
+// Heavy churn on out-of-line values must trigger compaction via MaybeCompact
+// (through UpdateValue/Erase) and keep the slab bounded rather than growing
+// with the total bytes ever written.
+TEST(LeafOps, ChurnKeepsSlabBounded) {
+  LeafStore s;
+  Rng rng(99);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 32; i++) {
+    keys.push_back("churn-" + std::to_string(i));
+    leafops::Insert(&s, true, keys.back(), std::string(32, 'x'),
+                    FullHash(keys.back()));
+  }
+  uint64_t live = 0;
+  for (const uint16_t id : s.by_key) {
+    live += s.slots[id].klen + s.slots[id].vlen;
+  }
+  for (int round = 0; round < 2000; round++) {
+    const std::string& key = keys[rng.NextBounded(keys.size())];
+    const int slot = leafops::FindSlot(s, true, key, FullHash(key));
+    ASSERT_GE(slot, 0);
+    leafops::UpdateValue(&s, static_cast<uint16_t>(slot),
+                         std::string(32 + rng.NextBounded(32), 'y'));
+  }
+  // The slab may carry dead bytes up to the compaction threshold plus growth
+  // headroom, but never the ~64 KB this churn wrote in total.
+  ASSERT_LE(s.slab.size(), 4 * (live + 32 * 64));
+  ASSERT_LE(s.dead, s.slab.size());
+}
+
+}  // namespace
+}  // namespace wh

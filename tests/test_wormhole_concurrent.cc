@@ -267,6 +267,96 @@ TEST(WormholeConcurrent, DeleteUntilMergeUnderReaders) {
   EXPECT_EQ(seen, static_cast<size_t>(kKept));
 }
 
+// The prefetch-interleaved MultiGet routes optimistically with no locks held,
+// so its route hints go stale whenever a writer splits or removes a leaf
+// mid-batch; every stale hint must fail leaf validation and fall back, never
+// serve from the wrong leaf. Tiny leaves keep every batch racing a structural
+// change; under ASan a reader still holding a retired leaf/bucket line
+// becomes a use-after-free, under TSan any unsynchronized slab access is a
+// reported race. Residents are never deleted (a miss is a lost key) and the
+// phantom namespace is never inserted (a hit is a phantom).
+TEST(WormholeConcurrent, BatchedReadersUnderConcurrentSplits) {
+  Options opt;
+  opt.leaf_capacity = 4;  // maximal structural churn
+  Wormhole index(opt);
+
+  constexpr int kResident = 6000;
+  constexpr int kChurnRange = 3000;
+  for (int i = 0; i < kResident; i++) {
+    index.Put(ResidentKey(i), "resident");
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> batches{0};
+  std::atomic<uint64_t> failures{0};
+  std::vector<std::thread> threads;
+  // Two writers churn inserts/deletes: constant splits and leaf removals.
+  for (int tid = 0; tid < 2; tid++) {
+    threads.emplace_back([&, tid] {
+      Rng rng(500 + static_cast<uint64_t>(tid));
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        index.Put(ChurnKey(tid, rng.NextBounded(kChurnRange)), "churn");
+        if (i++ % 2 == 0) {
+          index.Delete(ChurnKey(tid, rng.NextBounded(kChurnRange)));
+        }
+      }
+    });
+  }
+  // Two batched readers: shuffled batches of residents + phantoms, sized to
+  // cover partial and multi-group pipelines.
+  for (int tid = 0; tid < 2; tid++) {
+    threads.emplace_back([&, tid] {
+      Rng rng(600 + static_cast<uint64_t>(tid));
+      std::vector<std::string> storage;
+      std::vector<std::string_view> batch;
+      std::vector<std::string> values;
+      std::vector<uint8_t> hits;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const size_t n = 1 + rng.NextBounded(24);
+        storage.clear();
+        for (size_t i = 0; i < n; i++) {
+          if (rng.NextBounded(4) == 0) {
+            storage.push_back("phantom-" + std::to_string(rng.NextBounded(1000)));
+          } else {
+            storage.push_back(ResidentKey(static_cast<int>(rng.NextBounded(kResident))));
+          }
+        }
+        batch.assign(storage.begin(), storage.end());
+        index.MultiGet(batch, &values, &hits);
+        for (size_t i = 0; i < n; i++) {
+          const bool is_resident = storage[i][0] == 'r';
+          if (hits[i] != static_cast<uint8_t>(is_resident ? 1 : 0)) {
+            failures.fetch_add(1);
+          }
+          if (is_resident && values[i] != "resident") {
+            failures.fetch_add(1);
+          }
+        }
+        batches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+  stop.store(true);
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_GT(batches.load(), 0u);
+  // Post-churn: one big batch over every resident key must fully hit.
+  std::vector<std::string> storage;
+  for (int i = 0; i < kResident; i++) {
+    storage.push_back(ResidentKey(i));
+  }
+  std::vector<std::string_view> batch(storage.begin(), storage.end());
+  std::vector<std::string> values;
+  std::vector<uint8_t> hits;
+  EXPECT_EQ(index.MultiGet(batch, &values, &hits),
+            static_cast<size_t>(kResident));
+}
+
 // Regression: Scan with count == 0 must be a no-op that leaves no leaf lock
 // behind (a leaked shared lock would deadlock the next writer on that leaf).
 TEST(WormholeConcurrent, ZeroCountScanDoesNotLeakLeafLock) {
