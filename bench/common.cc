@@ -83,6 +83,7 @@ class Adapter : public IndexIface {
       return index_.Scan(start, count, fn);
     }
   }
+  std::unique_ptr<Cursor> NewCursor() override { return index_.NewCursor(); }
   uint64_t MemoryBytes() const override { return index_.MemoryBytes(); }
   bool thread_safe_writes() const override {
     return std::is_same_v<T, Wormhole> || std::is_same_v<T, Masstree>;

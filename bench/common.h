@@ -16,6 +16,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/common/cursor.h"
 #include "src/workload/keysets.h"
 
 namespace wh {
@@ -54,6 +55,9 @@ class IndexIface {
   virtual bool Delete(std::string_view key) = 0;
   virtual size_t Scan(std::string_view start, size_t count,
                       const std::function<bool(std::string_view, std::string_view)>& fn) = 0;
+  // Bidirectional ordered cursor (contract in src/common/cursor.h). Every
+  // index provides one; Cuckoo's is the sorted-snapshot ordered fallback.
+  virtual std::unique_ptr<Cursor> NewCursor() = 0;
   virtual uint64_t MemoryBytes() const = 0;
   // True when concurrent writers are safe (Wormhole, Masstree).
   virtual bool thread_safe_writes() const = 0;

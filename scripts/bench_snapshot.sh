@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Perf-trajectory snapshot: runs the smoke-scale configs of fig09 (read
-# scalability), fig10 (lookup by keyset), and service_mixed (the full sharded
-# service stack) with --json and writes one aggregated BENCH_<date>.json in
+# scalability), fig10 (lookup by keyset), fig18 (range shapes: forward /
+# reverse / YCSB-E short scans over cursors), and service_mixed (the full
+# sharded service stack) with --json and writes one aggregated BENCH_<date>.json in
 # the repo root. Each PR can leave a snapshot behind, so the next one has a
 # machine-readable baseline to diff against. Absolute numbers are only
 # comparable on the same hardware — the snapshot records nproc for that
@@ -17,7 +18,7 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
 OUT="${1:-BENCH_$(date +%Y%m%d).json}"
-BENCHES=(fig09_scalability fig10_lookup service_mixed)
+BENCHES=(fig09_scalability fig10_lookup fig18_range service_mixed)
 
 export WH_BENCH_SCALE="${WH_BENCH_SCALE:-0.01}"
 export WH_BENCH_THREADS="${WH_BENCH_THREADS:-2}"

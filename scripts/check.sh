@@ -42,8 +42,8 @@ JOBS="$(nproc)"
 # Everything ctest runs here is also run by CI; -j matches the tier-1 verify.
 CTEST_FLAGS=(--output-on-failure -j "$JOBS")
 # --fast runs only unit tests, so it must not pay for the 13 bench binaries.
-TEST_TARGETS=(test_index_correctness test_leaf_ops test_qsbr test_keysets
-              test_service test_wormhole_concurrent)
+TEST_TARGETS=(test_index_correctness test_cursor test_leaf_ops test_qsbr
+              test_keysets test_service test_wormhole_concurrent)
 
 STAGE_T0=0
 stage_begin() {

@@ -397,106 +397,234 @@ bool ArtTree::Delete(std::string_view key) {
   }
 }
 
-void ArtTree::ScanChild(const Inner* in, const ArtNode* child, uint8_t byte,
-                        const std::string& tk_start, size_t depth, bool free,
-                        ScanCtx& ctx) {
-  (void)in;
-  if (ctx.stopped || ctx.emitted >= ctx.limit) {
-    return;
-  }
-  if (!free && depth < tk_start.size()) {
-    const uint8_t sb = static_cast<uint8_t>(tk_start[depth]);
-    if (byte < sb) {
-      return;  // entire subtree sorts before start
+template <typename Fn>
+bool ArtTree::ForEachChild(const Inner* in, bool ascending, const Fn& fn) {
+  switch (in->base.type) {
+    case NodeType::kNode4:
+    case NodeType::kNode16: {
+      // Node4 and Node16 share the sorted (bytes[], child[]) layout.
+      const uint8_t* bytes;
+      ArtNode* const* child;
+      if (in->base.type == NodeType::kNode4) {
+        const Node4* n = WH_ART_AS_C(Node4, in);
+        bytes = n->bytes;
+        child = n->child;
+      } else {
+        const Node16* n = WH_ART_AS_C(Node16, in);
+        bytes = n->bytes;
+        child = n->child;
+      }
+      for (uint16_t i = 0; i < in->count; i++) {
+        const uint16_t at = ascending ? i : static_cast<uint16_t>(in->count - 1 - i);
+        if (!fn(bytes[at], child[at])) {
+          return false;
+        }
+      }
+      return true;
     }
-    ScanNode(child, tk_start, depth + 1, byte > sb, ctx);
-    return;
+    case NodeType::kNode48: {
+      const Node48* n = WH_ART_AS_C(Node48, in);
+      for (int i = 0; i < 256; i++) {
+        const int b = ascending ? i : 255 - i;
+        if (n->index[b] != 0xff &&
+            !fn(static_cast<uint8_t>(b), n->child[n->index[b]])) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case NodeType::kNode256: {
+      const Node256* n = WH_ART_AS_C(Node256, in);
+      for (int i = 0; i < 256; i++) {
+        const int b = ascending ? i : 255 - i;
+        if (n->child[b] != nullptr && !fn(static_cast<uint8_t>(b), n->child[b])) {
+          return false;
+        }
+      }
+      return true;
+    }
+    default:
+      assert(false);
+      return true;
   }
-  ScanNode(child, tk_start, depth + 1, true, ctx);
 }
 
-void ArtTree::ScanNode(const ArtNode* n, const std::string& tk_start, size_t depth,
-                       bool free, ScanCtx& ctx) {
-  if (ctx.stopped || ctx.emitted >= ctx.limit) {
-    return;
+// Deletion never unlinks an inner node that runs out of children (only Node4
+// collapses), so any subtree may be a childless husk: both extremum walks
+// return nullptr for those and callers move on to the next sibling.
+const ArtTree::ArtLeaf* ArtTree::MinLeaf(const ArtNode* n) {
+  while (n != nullptr && n->type != NodeType::kLeaf) {
+    const Inner* in = WH_ART_AS_C(Inner, n);
+    const ArtNode* first = nullptr;
+    ForEachChild(in, /*ascending=*/true, [&](uint8_t, const ArtNode* c) {
+      first = c;
+      return false;
+    });
+    n = first;
   }
+  return WH_ART_AS_C(ArtLeaf, n);
+}
+
+const ArtTree::ArtLeaf* ArtTree::MaxLeaf(const ArtNode* n) {
+  while (n != nullptr && n->type != NodeType::kLeaf) {
+    const Inner* in = WH_ART_AS_C(Inner, n);
+    const ArtNode* last = nullptr;
+    ForEachChild(in, /*ascending=*/false, [&](uint8_t, const ArtNode* c) {
+      last = c;
+      return false;
+    });
+    n = last;
+  }
+  return WH_ART_AS_C(ArtLeaf, n);
+}
+
+const ArtTree::ArtLeaf* ArtTree::CeilRec(const ArtNode* n, const std::string& tk,
+                                         std::string_view target, size_t depth,
+                                         bool free, bool strict) {
   if (n->type == NodeType::kLeaf) {
     const ArtLeaf* l = WH_ART_AS_C(ArtLeaf, n);
-    if (free || l->key >= ctx.start) {
-      ctx.emitted++;
-      if (!ctx.fn(l->key, l->value)) {
-        ctx.stopped = true;
-      }
-    }
-    return;
+    const bool ok = free || (strict ? l->key > target : l->key >= target);
+    return ok ? l : nullptr;
   }
   const Inner* in = WH_ART_AS_C(Inner, n);
   if (!free) {
     for (size_t i = 0; i < in->prefix.size(); i++) {
-      if (depth + i >= tk_start.size()) {
-        free = true;  // path already extends the start key: all keys follow it
+      if (depth + i >= tk.size()) {
+        free = true;  // path extends the whole target: all keys sort after it
         break;
       }
       const uint8_t pb = static_cast<uint8_t>(in->prefix[i]);
-      const uint8_t sb = static_cast<uint8_t>(tk_start[depth + i]);
+      const uint8_t sb = static_cast<uint8_t>(tk[depth + i]);
       if (pb > sb) {
         free = true;
         break;
       }
       if (pb < sb) {
-        return;  // subtree sorts entirely before start
+        return nullptr;  // subtree sorts entirely before target
       }
     }
   }
   const size_t d = depth + in->prefix.size();
-  switch (in->base.type) {
-    case NodeType::kNode4: {
-      const Node4* node = WH_ART_AS_C(Node4, in);
-      for (uint16_t i = 0; i < in->count; i++) {
-        ScanChild(in, node->child[i], node->bytes[i], tk_start, d, free, ctx);
-      }
-      return;
-    }
-    case NodeType::kNode16: {
-      const Node16* node = WH_ART_AS_C(Node16, in);
-      for (uint16_t i = 0; i < in->count; i++) {
-        ScanChild(in, node->child[i], node->bytes[i], tk_start, d, free, ctx);
-      }
-      return;
-    }
-    case NodeType::kNode48: {
-      const Node48* node = WH_ART_AS_C(Node48, in);
-      for (int b = 0; b < 256; b++) {
-        if (node->index[b] != 0xff) {
-          ScanChild(in, node->child[node->index[b]], static_cast<uint8_t>(b),
-                    tk_start, d, free, ctx);
-        }
-      }
-      return;
-    }
-    case NodeType::kNode256: {
-      const Node256* node = WH_ART_AS_C(Node256, in);
-      for (int b = 0; b < 256; b++) {
-        if (node->child[b] != nullptr) {
-          ScanChild(in, node->child[b], static_cast<uint8_t>(b), tk_start, d, free,
-                    ctx);
-        }
-      }
-      return;
-    }
-    default:
-      assert(false);
+  if (!free && d >= tk.size()) {
+    free = true;  // target exhausted at the branch byte: every child is above
   }
+  const uint8_t sb = free ? 0 : static_cast<uint8_t>(tk[d]);
+  const ArtLeaf* result = nullptr;
+  ForEachChild(in, /*ascending=*/true, [&](uint8_t b, const ArtNode* child) {
+    if (!free && b < sb) {
+      return true;  // entire subtree sorts before target
+    }
+    if (free || b > sb) {
+      // Wholly past the bound: its minimum wins — unless the subtree is a
+      // deletion husk, in which case the search continues rightwards.
+      result = MinLeaf(child);
+      return result == nullptr;
+    }
+    result = CeilRec(child, tk, target, d + 1, false, strict);
+    return result == nullptr;  // equal-byte subtree may miss; keep going
+  });
+  return result;
+}
+
+const ArtTree::ArtLeaf* ArtTree::FloorRec(const ArtNode* n, const std::string& tk,
+                                          std::string_view target, size_t depth,
+                                          bool free, bool strict) {
+  if (n->type == NodeType::kLeaf) {
+    const ArtLeaf* l = WH_ART_AS_C(ArtLeaf, n);
+    const bool ok = free || (strict ? l->key < target : l->key <= target);
+    return ok ? l : nullptr;
+  }
+  const Inner* in = WH_ART_AS_C(Inner, n);
+  if (!free) {
+    for (size_t i = 0; i < in->prefix.size(); i++) {
+      if (depth + i >= tk.size()) {
+        return nullptr;  // path extends the whole target: all keys sort after
+      }
+      const uint8_t pb = static_cast<uint8_t>(in->prefix[i]);
+      const uint8_t sb = static_cast<uint8_t>(tk[depth + i]);
+      if (pb < sb) {
+        free = true;
+        break;
+      }
+      if (pb > sb) {
+        return nullptr;  // subtree sorts entirely after target
+      }
+    }
+  }
+  const size_t d = depth + in->prefix.size();
+  if (!free && d >= tk.size()) {
+    return nullptr;  // target exhausted at the branch byte: every child is above
+  }
+  const uint8_t sb = free ? 0 : static_cast<uint8_t>(tk[d]);
+  const ArtLeaf* result = nullptr;
+  ForEachChild(in, /*ascending=*/false, [&](uint8_t b, const ArtNode* child) {
+    if (!free && b > sb) {
+      return true;  // entire subtree sorts after target
+    }
+    if (free || b < sb) {
+      result = MaxLeaf(child);  // wholly below the bound: its maximum wins
+      return result == nullptr;
+    }
+    result = FloorRec(child, tk, target, d + 1, false, strict);
+    return result == nullptr;
+  });
+  return result;
+}
+
+// Each positioning call is one bounded descent from the root for the
+// successor / predecessor of the bound, so the cursor carries no node stack
+// that a Put/Delete could invalidate — only the current leaf pointer (which
+// any mutation still invalidates, per the cursor.h contract).
+class ArtTree::CursorImpl : public Cursor {
+ public:
+  explicit CursorImpl(ArtTree* tree) : tree_(tree) {}
+
+  void Seek(std::string_view target) override { Position(target, false, false); }
+  void SeekForPrev(std::string_view target) override {
+    Position(target, true, false);
+  }
+
+  bool Valid() const override { return leaf_ != nullptr; }
+
+  void Next() override {
+    if (leaf_ != nullptr) {
+      Position(leaf_->key, false, true);
+    }
+  }
+
+  void Prev() override {
+    if (leaf_ != nullptr) {
+      Position(leaf_->key, true, true);
+    }
+  }
+
+  std::string_view key() const override { return leaf_->key; }
+  std::string_view value() const override { return leaf_->value; }
+
+ private:
+  void Position(std::string_view target, bool backward, bool strict) {
+    if (tree_->root_ == nullptr) {
+      leaf_ = nullptr;
+      return;
+    }
+    // Terminated(target) may outlive `target` itself (Next passes the current
+    // leaf's key), so build it before anything else.
+    const std::string tk = Terminated(target);
+    leaf_ = backward ? FloorRec(tree_->root_, tk, target, 0, false, strict)
+                     : CeilRec(tree_->root_, tk, target, 0, false, strict);
+  }
+
+  ArtTree* tree_;
+  const ArtLeaf* leaf_ = nullptr;
+};
+
+std::unique_ptr<Cursor> ArtTree::NewCursor() {
+  return std::make_unique<CursorImpl>(this);
 }
 
 size_t ArtTree::Scan(std::string_view start, size_t count, const ScanFn& fn) {
-  if (root_ == nullptr || count == 0) {
-    return 0;
-  }
-  ScanCtx ctx{start, fn, count};
-  const std::string tk_start = Terminated(start);
-  ScanNode(root_, tk_start, 0, false, ctx);
-  return ctx.emitted;
+  CursorImpl c(this);
+  return ScanViaCursor(&c, start, count, fn);
 }
 
 void ArtTree::FreeNode(ArtNode* n) {

@@ -10,10 +10,12 @@
 #define WH_SRC_ART_ART_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "src/common/cursor.h"
 #include "src/common/scan.h"
 
 namespace wh {
@@ -29,6 +31,10 @@ class ArtTree {
   void Put(std::string_view key, std::string_view value);
   bool Delete(std::string_view key);
   size_t Scan(std::string_view start, size_t count, const ScanFn& fn);
+  // Each step is a fresh bounded descent (successor / predecessor of the
+  // current key), so no parent stack goes stale. Mutation invalidates
+  // cursors.
+  std::unique_ptr<Cursor> NewCursor();
   uint64_t MemoryBytes() const;
 
  private:
@@ -44,13 +50,7 @@ class ArtTree {
   struct Node48;
   struct Node256;
 
-  struct ScanCtx {
-    std::string_view start;
-    const ScanFn& fn;
-    size_t limit;
-    size_t emitted = 0;
-    bool stopped = false;
-  };
+  class CursorImpl;
 
   static ArtNode** FindChild(Inner* in, uint8_t byte);
   // Adds a child, growing the node (and updating *ref) if it is full.
@@ -58,11 +58,21 @@ class ArtTree {
   static void RemoveChild(ArtNode** ref, uint8_t byte);
   static void FreeNode(ArtNode* n);
   static uint64_t NodeBytes(const ArtNode* n);
-  static void ScanNode(const ArtNode* n, const std::string& tk_start, size_t depth,
-                       bool free, ScanCtx& ctx);
-  static void ScanChild(const Inner* in, const ArtNode* child, uint8_t byte,
-                        const std::string& tk_start, size_t depth, bool free,
-                        ScanCtx& ctx);
+  // Visits children in byte order (ascending or descending); fn returns false
+  // to stop. Returns false when fn stopped the walk.
+  template <typename Fn>
+  static bool ForEachChild(const Inner* in, bool ascending, const Fn& fn);
+  static const ArtLeaf* MinLeaf(const ArtNode* n);
+  static const ArtLeaf* MaxLeaf(const ArtNode* n);
+  // Smallest leaf key (strict ? > : >=) target / largest (strict ? < : <=)
+  // target under n; tk is Terminated(target), `free` marks a subtree already
+  // known to sort wholly past the bound in the search direction.
+  static const ArtLeaf* CeilRec(const ArtNode* n, const std::string& tk,
+                                std::string_view target, size_t depth, bool free,
+                                bool strict);
+  static const ArtLeaf* FloorRec(const ArtNode* n, const std::string& tk,
+                                 std::string_view target, size_t depth, bool free,
+                                 bool strict);
 
   ArtNode* root_ = nullptr;
 };

@@ -131,25 +131,125 @@ bool BPlusTree::Delete(std::string_view key) {
   return true;
 }
 
-size_t BPlusTree::Scan(std::string_view start, size_t count, const ScanFn& fn) {
-  BNode* leaf = FindLeaf(start);
-  size_t pos = static_cast<size_t>(
-      std::lower_bound(leaf->keys.begin(), leaf->keys.end(), start) -
-      leaf->keys.begin());
-  size_t emitted = 0;
-  while (leaf != nullptr && emitted < count) {
-    if (pos >= leaf->keys.size()) {
-      leaf = leaf->next;  // lazily-emptied leaves are skipped here
-      pos = 0;
-      continue;
-    }
-    emitted++;
-    if (!fn(leaf->keys[pos], leaf->values[pos])) {
-      break;
-    }
-    pos++;
+class BPlusTree::CursorImpl : public Cursor {
+ public:
+  explicit CursorImpl(BPlusTree* tree) : tree_(tree) {}
+
+  void Seek(std::string_view target) override {
+    leaf_ = tree_->FindLeaf(target);
+    pos_ = static_cast<size_t>(
+        std::lower_bound(leaf_->keys.begin(), leaf_->keys.end(), target) -
+        leaf_->keys.begin());
+    SkipForward();
   }
-  return emitted;
+
+  void SeekForPrev(std::string_view target) override {
+    FloorFrom(target, /*strict=*/false);
+  }
+
+  bool Valid() const override { return leaf_ != nullptr; }
+
+  void Next() override {
+    if (leaf_ == nullptr) {
+      return;
+    }
+    pos_++;
+    SkipForward();
+  }
+
+  void Prev() override {
+    if (leaf_ == nullptr) {
+      return;
+    }
+    if (pos_ > 0) {
+      pos_--;
+      return;
+    }
+    // First key of a leaf: the predecessor needs a fresh root descent (the
+    // leaf chain is forward-only and lazy deletion can empty whole leaves).
+    FloorFrom(leaf_->keys[0], /*strict=*/true);
+  }
+
+  std::string_view key() const override { return leaf_->keys[pos_]; }
+  std::string_view value() const override { return leaf_->values[pos_]; }
+
+ private:
+  void SkipForward() {
+    while (leaf_ != nullptr && pos_ >= leaf_->keys.size()) {
+      leaf_ = leaf_->next;  // lazily-emptied leaves are skipped here
+      pos_ = 0;
+    }
+  }
+
+  void FloorFrom(std::string_view target, bool strict) {
+    if (!FloorInNode(tree_->root_, target, strict, &leaf_, &pos_)) {
+      leaf_ = nullptr;
+    }
+  }
+
+  // Last key (strict ? < : <=) target within node's subtree. Descends into
+  // the child whose range covers target, then falls back through the earlier
+  // siblings' maxima — lazy deletion means any subtree may be empty.
+  static bool FloorInNode(const BNode* node, std::string_view target, bool strict,
+                          const BNode** leaf, size_t* pos) {
+    if (node->is_leaf) {
+      auto it = strict
+                    ? std::lower_bound(node->keys.begin(), node->keys.end(), target)
+                    : std::upper_bound(node->keys.begin(), node->keys.end(), target);
+      if (it == node->keys.begin()) {
+        return false;
+      }
+      *leaf = node;
+      *pos = static_cast<size_t>(it - node->keys.begin()) - 1;
+      return true;
+    }
+    size_t idx = static_cast<size_t>(
+        std::upper_bound(node->keys.begin(), node->keys.end(), target) -
+        node->keys.begin());
+    if (FloorInNode(node->children[idx], target, strict, leaf, pos)) {
+      return true;
+    }
+    // Every key in children[0..idx) sorts below the separator <= target, so
+    // any of their maxima qualifies; take the rightmost nonempty one.
+    while (idx > 0) {
+      idx--;
+      if (MaxInNode(node->children[idx], leaf, pos)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Rightmost key in node's subtree, if any survives lazy deletion.
+  static bool MaxInNode(const BNode* node, const BNode** leaf, size_t* pos) {
+    if (node->is_leaf) {
+      if (node->keys.empty()) {
+        return false;
+      }
+      *leaf = node;
+      *pos = node->keys.size() - 1;
+      return true;
+    }
+    for (size_t i = node->children.size(); i > 0; i--) {
+      if (MaxInNode(node->children[i - 1], leaf, pos)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  BPlusTree* tree_;
+  const BNode* leaf_ = nullptr;
+  size_t pos_ = 0;
+};
+
+std::unique_ptr<Cursor> BPlusTree::NewCursor() {
+  return std::make_unique<CursorImpl>(this);
+}
+
+size_t BPlusTree::Scan(std::string_view start, size_t count, const ScanFn& fn) {
+  CursorImpl c(this);
+  return ScanViaCursor(&c, start, count, fn);
 }
 
 uint64_t BPlusTree::NodeBytes(const BNode* node) const {

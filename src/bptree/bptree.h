@@ -6,10 +6,12 @@
 #define WH_SRC_BPTREE_BPTREE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "src/common/cursor.h"
 #include "src/common/scan.h"
 
 namespace wh {
@@ -25,9 +27,14 @@ class BPlusTree {
   void Put(std::string_view key, std::string_view value);
   bool Delete(std::string_view key);
   size_t Scan(std::string_view start, size_t count, const ScanFn& fn);
+  // Forward steps ride the leaf chain (skipping lazily-emptied leaves); Prev
+  // re-descends from the root for the predecessor (leaves carry no back
+  // links). Mutation invalidates cursors.
+  std::unique_ptr<Cursor> NewCursor();
   uint64_t MemoryBytes() const;
 
  private:
+  class CursorImpl;
   struct BNode {
     bool is_leaf;
     std::vector<std::string> keys;

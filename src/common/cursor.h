@@ -1,0 +1,90 @@
+// First-class ordered cursors: the bidirectional iteration interface every
+// index in this repo implements (src/core, src/skiplist, src/bptree, src/art,
+// src/masstree, and src/cuckoo's ordered fallback). The one-shot ScanFn entry
+// points (src/common/scan.h) are thin wrappers over cursors now — see
+// ScanViaCursor below.
+//
+// ===========================================================================
+// Cursor contract (normative; asserted by tests/test_cursor.cc against a
+// std::map oracle for every MakeIndex name)
+//
+// Positioning:
+//   Seek(t)         positions at the FIRST key >= t. The empty string compares
+//                   <= every key, so Seek("") positions at the smallest key
+//                   (of an empty index: invalid). If no key >= t exists
+//                   (seek past end), the cursor becomes invalid.
+//   SeekForPrev(t)  positions at the LAST key <= t. If no key <= t exists
+//                   (t sorts before the whole index — including
+//                   SeekForPrev("") when no empty key is stored), the cursor
+//                   becomes invalid.
+// Both may be called any number of times, in any state, and fully reposition
+// the cursor. Key comparisons are bytewise-unsigned (memcmp order), the same
+// order every index and std::string_view use.
+//
+// Stepping:
+//   Next()  moves to the immediately following key; Prev() to the immediately
+//   preceding one. Stepping off either end makes the cursor invalid. Next and
+//   Prev on an INVALID cursor are no-ops (the cursor stays invalid; only a
+//   Seek/SeekForPrev revives it) — callers never need to guard a step.
+//   Directions may be mixed freely at any valid position.
+//
+// Accessors:
+//   key()/value() require Valid(). The returned views are owned by the cursor
+//   or the index and stay readable until the next call on the same cursor.
+//
+// Mutation:
+//   Single-writer indexes: any Put/Delete on the index invalidates every
+//   outstanding cursor (using one afterwards is undefined). The concurrent
+//   Wormhole is the exception: its cursors stay usable under concurrent
+//   writers with per-leaf snapshot semantics (see wormhole.h; each leaf's
+//   window is copied out under the per-leaf lock, so a cursor never holds a
+//   leaf lock across user code, and never blocks writers between calls).
+//
+// Lifetime: a cursor must not outlive its index (nor, for the concurrent
+// Wormhole, the thread's QSBR registration — destroy cursors before
+// QsbrThreadScope ends).
+// ===========================================================================
+#ifndef WH_SRC_COMMON_CURSOR_H_
+#define WH_SRC_COMMON_CURSOR_H_
+
+#include <string_view>
+
+#include "src/common/scan.h"
+
+namespace wh {
+
+class Cursor {
+ public:
+  virtual ~Cursor() = default;
+
+  virtual void Seek(std::string_view target) = 0;
+  virtual void SeekForPrev(std::string_view target) = 0;
+  virtual bool Valid() const = 0;
+  virtual void Next() = 0;
+  virtual void Prev() = 0;
+  virtual std::string_view key() const = 0;
+  virtual std::string_view value() const = 0;
+};
+
+// The legacy Scan(start, count, fn) semantics expressed over a cursor: visits
+// at most `count` items with key >= start in ascending order, stops early when
+// fn returns false, returns the number of fn invocations. Every index's Scan
+// entry point delegates here, so callback scans and cursors cannot drift.
+inline size_t ScanViaCursor(Cursor* c, std::string_view start, size_t count,
+                            const ScanFn& fn) {
+  if (count == 0) {
+    return 0;  // skip the positioning descent entirely
+  }
+  size_t emitted = 0;
+  for (c->Seek(start); c->Valid() && emitted < count; c->Next()) {
+    emitted++;
+    if (!fn(c->key(), c->value())) {
+      break;
+    }
+  }
+  return emitted;
+}
+
+}  // namespace wh
+
+#endif  // WH_SRC_COMMON_CURSOR_H_

@@ -93,7 +93,10 @@ Qsbr::Slot* Qsbr::RegisterThread() {
     Slot& s = slots_[i];
     if (s.state.load(std::memory_order_relaxed) == kFree) {
       // Epoch before state: a reclaimer that sees kActive must see a current
-      // epoch, never the previous tenant's stale one.
+      // epoch, never the previous tenant's stale one. A leaked pin (a thread
+      // that exited with a live cursor, itself a contract violation) must not
+      // poison the next tenant's Quiesce.
+      s.pins.store(0, std::memory_order_relaxed);
       s.epoch.store(global_epoch_.load(std::memory_order_acquire),
                     std::memory_order_release);
       s.state.store(kActive, std::memory_order_release);

@@ -60,6 +60,9 @@ class Qsbr {
     // kFree -> kActive under slots_mu_ (epoch is set first); kActive -> kFree
     // on unregistration.
     std::atomic<uint32_t> state{0};
+    // Owner-thread-only pin depth (see Pin below). Written and read only by
+    // the owning thread; atomic so the slot stays trivially shareable.
+    std::atomic<uint32_t> pins{0};
   };
 
   Qsbr();
@@ -84,11 +87,30 @@ class Qsbr {
   // mistaken for a live one.
   Slot* CurrentSlot();
 
-  // Reports a quiescent state: the owning thread holds no references.
+  // Reports a quiescent state: the owning thread holds no references. While
+  // the slot is pinned this is a no-op, so interleaved operations (which
+  // quiesce on exit) cannot accidentally release a pin-holder's references.
   void Quiesce(Slot* slot) {
+    if (slot->pins.load(std::memory_order_relaxed) != 0) {
+      return;
+    }
     slot->epoch.store(global_epoch_.load(std::memory_order_acquire),
                       std::memory_order_release);
   }
+
+  // Epoch pin: freezes the slot's epoch at the current instant, so every
+  // object reachable from now on — including ones retired after this call —
+  // stays allocated until the matching Unpin. Used by cursors, which keep a
+  // leaf pointer across user code between calls. Pins nest. Owner thread
+  // only; the caller must hold no protected references at the OUTERMOST Pin
+  // (the pin quiesces first to make the freeze point current). A long-held
+  // pin stalls reclamation in this domain exactly like an idle registered
+  // thread: memory accrues, nothing is freed prematurely.
+  void Pin(Slot* slot) {
+    Quiesce(slot);  // no-op when already pinned (nested pin)
+    slot->pins.fetch_add(1, std::memory_order_relaxed);
+  }
+  void Unpin(Slot* slot) { slot->pins.fetch_sub(1, std::memory_order_relaxed); }
 
   // Defers deleter(p) until all registered threads quiesce. p must already be
   // unreachable to new readers.

@@ -69,9 +69,24 @@ struct LeafStore {
     return s.vlen <= kInlineValue ? std::string_view{s.vinl, s.vlen}
                                   : std::string_view{slab.data() + s.voff, s.vlen};
   }
-  // Key at key-ordered position `rank`.
+  // Key / value at key-ordered position `rank`. Ranks 0..size()-1 walk the
+  // leaf in ascending key order; walking them backwards is descending order —
+  // the in-leaf half of cursor iteration (src/common/cursor.h).
   std::string_view KeyAt(size_t rank) const { return Key(by_key[rank]); }
+  std::string_view ValueAt(size_t rank) const { return Value(by_key[rank]); }
 };
+
+// Rank of the first key > bound (strict) or >= bound, in [0, size()]. The
+// floor rank (last key < / <= bound) is this minus one, with 0 meaning "all
+// keys are above the bound" — cursors then hop to the previous leaf.
+inline size_t LowerBoundRank(const LeafStore& s, std::string_view bound,
+                             bool strict) {
+  auto it = std::lower_bound(s.by_key.begin(), s.by_key.end(), bound,
+                             [&](uint16_t id, std::string_view k) {
+                               return strict ? s.Key(id) <= k : s.Key(id) < k;
+                             });
+  return static_cast<size_t>(it - s.by_key.begin());
+}
 
 // Appends a record without touching the ordered indexes (bulk-build path;
 // callers rebuild indexes afterwards or splice via Insert instead).
@@ -280,31 +295,6 @@ inline void RebuildIndexes(LeafStore* s, bool direct_pos) {
   } else {
     s->by_hash.clear();
   }
-}
-
-// Visits items with key > bound (strict) or >= bound, in key order, at most
-// `limit`; records the last visited key in *last (for scan resumption) and
-// sets *stopped when fn returns false. Returns the number of fn invocations.
-template <typename Fn>
-size_t ScanRange(const LeafStore& s, std::string_view bound, bool strict,
-                 size_t limit, const Fn& fn, bool* stopped, std::string* last) {
-  auto it = std::lower_bound(s.by_key.begin(), s.by_key.end(), bound,
-                             [&](uint16_t id, std::string_view k) {
-                               return strict ? s.Key(id) <= k : s.Key(id) < k;
-                             });
-  size_t emitted = 0;
-  for (; it != s.by_key.end() && emitted < limit; ++it) {
-    const std::string_view key = s.Key(*it);
-    emitted++;
-    if (last != nullptr) {
-      last->assign(key);
-    }
-    if (!fn(key, s.Value(*it))) {
-      *stopped = true;
-      break;
-    }
-  }
-  return emitted;
 }
 
 // Shortest prefix of right_min that compares greater than left_max — the new

@@ -287,15 +287,85 @@ bool WormholeUnsafe::Delete(std::string_view key) {
   return true;
 }
 
-size_t WormholeUnsafe::Scan(std::string_view start, size_t count, const ScanFn& fn) {
-  size_t emitted = 0;
-  bool stopped = false;
-  for (Leaf* l = FindLeaf(start); l != nullptr && emitted < count && !stopped;
-       l = l->next) {
-    emitted += leafops::ScanRange(l->store, start, /*strict=*/false,
-                                  count - emitted, fn, &stopped, nullptr);
+// Single-threaded cursor: a (leaf, rank) position straight into the live
+// structure — no copies, no locks. Any mutation of the index invalidates it
+// (contract in cursor.h).
+class WormholeUnsafe::CursorImpl : public Cursor {
+ public:
+  explicit CursorImpl(WormholeUnsafe* wh) : wh_(wh) {}
+
+  void Seek(std::string_view target) override {
+    leaf_ = wh_->FindLeaf(target);
+    rank_ = leafops::LowerBoundRank(leaf_->store, target, /*strict=*/false);
+    SkipForward();
   }
-  return emitted;
+
+  void SeekForPrev(std::string_view target) override {
+    leaf_ = wh_->FindLeaf(target);
+    // First rank > target; StepBack lands on the floor (last key <= target).
+    rank_ = leafops::LowerBoundRank(leaf_->store, target, /*strict=*/true);
+    StepBack();
+  }
+
+  bool Valid() const override { return valid_; }
+
+  void Next() override {
+    if (!valid_) {
+      return;
+    }
+    rank_++;
+    SkipForward();
+  }
+
+  void Prev() override {
+    if (!valid_) {
+      return;
+    }
+    StepBack();
+  }
+
+  std::string_view key() const override { return leaf_->store.KeyAt(rank_); }
+  std::string_view value() const override { return leaf_->store.ValueAt(rank_); }
+
+ private:
+  // rank_ may equal the leaf's size: advance to the next nonempty leaf (only
+  // the head leaf can be empty, but the loop is general).
+  void SkipForward() {
+    while (leaf_ != nullptr && rank_ >= leaf_->store.size()) {
+      leaf_ = leaf_->next;
+      rank_ = 0;
+    }
+    valid_ = leaf_ != nullptr;
+  }
+
+  // Positions at the item just before rank_, hopping to earlier leaves when
+  // rank_ is 0; invalidates at the front of the index.
+  void StepBack() {
+    while (rank_ == 0) {
+      leaf_ = leaf_->prev;
+      if (leaf_ == nullptr) {
+        valid_ = false;
+        return;
+      }
+      rank_ = leaf_->store.size();
+    }
+    rank_--;
+    valid_ = true;
+  }
+
+  WormholeUnsafe* wh_;
+  Leaf* leaf_ = nullptr;
+  size_t rank_ = 0;
+  bool valid_ = false;
+};
+
+std::unique_ptr<Cursor> WormholeUnsafe::NewCursor() {
+  return std::make_unique<CursorImpl>(this);
+}
+
+size_t WormholeUnsafe::Scan(std::string_view start, size_t count, const ScanFn& fn) {
+  CursorImpl c(this);
+  return ScanViaCursor(&c, start, count, fn);
 }
 
 // --- structural changes ----------------------------------------------------
@@ -1064,49 +1134,238 @@ bool Wormhole::DeleteSlow(std::string_view key) {
   return true;
 }
 
+// Epoch-pinned concurrent cursor (protocol in wormhole.h). Between calls it
+// holds only the QSBR pin, a leaf pointer + version snapshot, and the copied
+// window — never a lock, so a parked cursor blocks no writer and user code
+// never runs under a leaf lock.
+class Wormhole::CursorImpl : public Cursor {
+ public:
+  explicit CursorImpl(Wormhole* wh) : wh_(wh), slot_(wh->qsbr_->CurrentSlot()) {
+    // The pin freezes this thread's epoch: leaf_ stays dereferenceable across
+    // calls even after the leaf is unlinked and retired.
+    wh_->qsbr_->Pin(slot_);
+  }
+  ~CursorImpl() override {
+    wh_->qsbr_->Unpin(slot_);
+    wh_->qsbr_->Quiesce(slot_);
+  }
+
+  void Seek(std::string_view target) override {
+    bound_.assign(target);
+    strict_ = false;
+    PositionForward();
+  }
+
+  void SeekForPrev(std::string_view target) override {
+    bound_.assign(target);
+    strict_ = false;
+    PositionBackward();
+  }
+
+  bool Valid() const override { return valid_; }
+
+  void Next() override {
+    if (!valid_) {
+      return;
+    }
+    if (pos_ + 1 < wsize_) {
+      pos_++;
+      return;
+    }
+    // Window exhausted: the logical position is "first key > the one we just
+    // returned" — remember it so a lost hop race can re-route exactly there.
+    // assign(), not move: the window slot keeps its heap buffer for reuse.
+    bound_.assign(window_[pos_].key);
+    strict_ = true;
+    if (!HopForward()) {
+      PositionForward();
+    }
+  }
+
+  void Prev() override {
+    if (!valid_) {
+      return;
+    }
+    if (pos_ > 0) {
+      pos_--;
+      return;
+    }
+    bound_.assign(window_[0].key);
+    strict_ = true;
+    if (!HopBackward()) {
+      PositionBackward();
+    }
+  }
+
+  std::string_view key() const override { return window_[pos_].key; }
+  std::string_view value() const override { return window_[pos_].value; }
+
+ private:
+  struct Item {
+    std::string key;
+    std::string value;
+  };
+
+  // Copies the leaf's whole ordered window; caller holds leaf->lock (shared).
+  // The version snapshot taken here is what every later hop revalidates.
+  // Item slots (and their string heap buffers) are reused across windows, so
+  // after the first few leaves a steady-state scan hop allocates nothing.
+  void CopyWindow(Leaf* leaf) {
+    const leafops::LeafStore& s = leaf->store;
+    if (window_.size() < s.size()) {
+      window_.resize(s.size());
+    }
+    for (size_t r = 0; r < s.size(); r++) {
+      window_[r].key.assign(s.KeyAt(r));
+      window_[r].value.assign(s.ValueAt(r));
+    }
+    wsize_ = s.size();
+    leaf_ = leaf;
+    leaf_version_ = leaf->version.load(std::memory_order_relaxed);
+  }
+
+  // Window position of the first key > b (strict) / >= b.
+  size_t LowerBoundPos(std::string_view b, bool strict) const {
+    auto it = std::lower_bound(window_.begin(),
+                               window_.begin() + static_cast<ptrdiff_t>(wsize_), b,
+                               [&](const Item& item, std::string_view k) {
+                                 return strict ? item.key <= k : item.key < k;
+                               });
+    return static_cast<size_t>(it - window_.begin());
+  }
+
+  // Fresh route to "first key (strict_ ? > : >=) bound_": Seek and the
+  // re-Seek fallback after a lost hop race. AcquireLeaf locks + validates
+  // coverage exactly like Get.
+  void PositionForward() {
+    for (;;) {
+      uint32_t h;
+      Leaf* leaf = wh_->AcquireLeaf(bound_, Mode::kShared, &h);
+      CopyWindow(leaf);
+      leaf->lock.unlock_shared();
+      pos_ = LowerBoundPos(bound_, strict_);
+      if (pos_ < wsize_) {
+        valid_ = true;
+        return;
+      }
+      if (HopForward()) {
+        return;
+      }
+    }
+  }
+
+  // Mirror image: "last key (strict_ ? < : <=) bound_".
+  void PositionBackward() {
+    for (;;) {
+      uint32_t h;
+      Leaf* leaf = wh_->AcquireLeaf(bound_, Mode::kShared, &h);
+      CopyWindow(leaf);
+      leaf->lock.unlock_shared();
+      const size_t above = LowerBoundPos(bound_, !strict_);
+      if (above > 0) {
+        pos_ = above - 1;
+        valid_ = true;
+        return;
+      }
+      if (HopBackward()) {
+        return;
+      }
+    }
+  }
+
+  // Walks to following leaves until a nonempty window or the list end.
+  // Returns false on a lost race — leaf_ split or was removed since its
+  // window was copied, or the successor died mid-hop — and the caller
+  // re-routes from bound_. The version check is what makes the hop safe: an
+  // unchanged version proves leaf_ never split, so its current next pointer
+  // still bounds everything the window covered.
+  bool HopForward() {
+    for (;;) {
+      Leaf* cur = leaf_;
+      cur->lock.lock_shared();
+      const bool intact =
+          cur->version.load(std::memory_order_relaxed) == leaf_version_;
+      Leaf* nx = intact ? cur->next.load(std::memory_order_acquire) : nullptr;
+      cur->lock.unlock_shared();
+      if (!intact) {
+        return false;
+      }
+      if (nx == nullptr) {
+        valid_ = false;
+        return true;
+      }
+      nx->lock.lock_shared();
+      if (nx->retired()) {
+        nx->lock.unlock_shared();
+        return false;
+      }
+      CopyWindow(nx);
+      nx->lock.unlock_shared();
+      if (wsize_ > 0) {
+        pos_ = 0;
+        valid_ = true;
+        return true;
+      }
+      // An empty live leaf (only ever the head): keep walking forward.
+    }
+  }
+
+  bool HopBackward() {
+    for (;;) {
+      Leaf* cur = leaf_;
+      cur->lock.lock_shared();
+      const bool intact =
+          cur->version.load(std::memory_order_relaxed) == leaf_version_;
+      Leaf* pv = intact ? cur->prev.load(std::memory_order_acquire) : nullptr;
+      cur->lock.unlock_shared();
+      if (!intact) {
+        return false;
+      }
+      if (pv == nullptr) {
+        valid_ = false;  // cur is the head leaf: nothing before it
+        return true;
+      }
+      pv->lock.lock_shared();
+      // The back-link can lag a split of pv (its new right sibling slots in
+      // between them): accept pv only while it is live and still links
+      // forward to cur; otherwise re-route.
+      if (pv->retired() || pv->next.load(std::memory_order_acquire) != cur) {
+        pv->lock.unlock_shared();
+        return false;
+      }
+      CopyWindow(pv);
+      pv->lock.unlock_shared();
+      if (wsize_ > 0) {
+        pos_ = wsize_ - 1;
+        valid_ = true;
+        return true;
+      }
+    }
+  }
+
+  Wormhole* wh_;
+  Qsbr::Slot* slot_;
+  Leaf* leaf_ = nullptr;  // leaf window_ was copied from (pin keeps it alive)
+  uint64_t leaf_version_ = 0;
+  std::vector<Item> window_;  // slots reused across leaves; wsize_ are live
+  size_t wsize_ = 0;
+  size_t pos_ = 0;
+  bool valid_ = false;
+  std::string bound_;  // re-Seek point: first/last key (strict_?beyond:at) it
+  bool strict_ = false;
+};
+
+std::unique_ptr<Cursor> Wormhole::NewCursor() {
+  return std::make_unique<CursorImpl>(this);
+}
+
 size_t Wormhole::Scan(std::string_view start, size_t count, const ScanFn& fn) {
   if (count == 0) {
-    return 0;  // never acquire a lock the loop below would not release
+    return 0;  // skip the cursor's pin/route round-trip entirely
   }
   QsbrOp op(qsbr_);
-  size_t emitted = 0;
-  bool stopped = false;
-  std::string resume(start);
-  bool strict = false;  // the original start bound is inclusive
-  uint32_t h;
-  Leaf* leaf = AcquireLeaf(resume, Mode::kShared, &h);
-  while (leaf != nullptr && emitted < count && !stopped) {
-    std::string last;
-    const size_t got = leafops::ScanRange(leaf->store, resume, strict,
-                                          count - emitted, fn, &stopped, &last);
-    emitted += got;
-    if (got > 0) {
-      resume = std::move(last);
-      strict = true;  // resume strictly after the last emitted key
-    }
-    if (stopped || emitted >= count) {
-      leaf->lock.unlock_shared();
-      break;
-    }
-    Leaf* nx = leaf->next.load(std::memory_order_acquire);
-    if (nx == nullptr) {
-      leaf->lock.unlock_shared();
-      break;
-    }
-    // Hand-over-hand: lock the successor before releasing the current leaf,
-    // so no split can slip an unvisited leaf in between.
-    nx->lock.lock_shared();
-    leaf->lock.unlock_shared();
-    if (nx->retired()) {
-      // The successor was emptied and removed mid-handoff; re-route from the
-      // last emitted key.
-      nx->lock.unlock_shared();
-      leaf = AcquireLeaf(resume, Mode::kShared, &h);
-      continue;
-    }
-    leaf = nx;
-  }
-  return emitted;
+  CursorImpl c(this);
+  return ScanViaCursor(&c, start, count, fn);
 }
 
 // --- structural writers (meta_mu_ held) ------------------------------------

@@ -60,12 +60,35 @@
 //     after every thread passes a quiescent state, so lock-free readers can
 //     keep dereferencing what they already found.
 //
+// Ordered cursors (src/common/cursor.h): both classes expose NewCursor() for
+// bidirectional Seek/Next/Prev iteration; Scan() is a thin wrapper over it.
+// The concurrent cursor's protocol, mirroring how Get validates:
+//   - The cursor holds a QSBR *epoch pin* (Qsbr::Pin) for its lifetime, so
+//     the leaf pointer it remembers between calls stays dereferenceable even
+//     after the leaf is unlinked — exactly the guarantee lock-free lookups
+//     get from their implicit no-quiesce window, made explicit across calls.
+//   - Positioning routes through AcquireLeaf (lock + covers-validation +
+//     bounded retry) and copies the whole leaf's ordered window out under the
+//     per-leaf shared lock. User code only ever sees the copy: no cursor path
+//     holds a leaf lock while invoking user code, and a cursor parked between
+//     calls blocks no writer.
+//   - Next/Prev past the window hop to the neighbor leaf: re-lock the
+//     remembered leaf, revalidate via its version counter (and the
+//     neighbor's dead flag + back-link); any lost race — the leaf split, was
+//     removed, or the neighbor changed mid-hop — falls back to a fresh
+//     re-Seek from the last returned key, which can only re-route, never
+//     skip or duplicate a persistent key.
+// Consequence: a cursor observes each leaf atomically (a consistent snapshot
+// at copy time); concurrent inserts/deletes elsewhere may or may not be seen,
+// and keys present for the cursor's whole traversal are seen exactly once.
+//
 // Threading requirements for embedders: threads are registered with QSBR
 // lazily on first use and unregistered at thread exit; every Wormhole
 // operation reports a quiescent state on completion. Long-lived threads that
 // stop calling into the index should unregister (QsbrThreadScope) so they do
 // not stall reclamation, and an index must only be destroyed after all other
-// threads have quiesced or exited.
+// threads have quiesced or exited. A live cursor pins its thread's epoch —
+// destroy cursors promptly (and always before the index / QsbrThreadScope).
 //
 // WormholeUnsafe is the single-threaded core (no locks, no atomic publication)
 // used by the Fig. 11 ablation configurations and as the differential-test
@@ -75,12 +98,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "src/common/cursor.h"
 #include "src/common/qsbr.h"
 #include "src/common/scan.h"
 #include "src/core/leaf_ops.h"
@@ -137,7 +162,11 @@ class WormholeUnsafe {
   bool Delete(std::string_view key);
   // Visits items with key >= start in key order, at most `count`, stopping
   // early when fn returns false. Returns the number of fn invocations.
+  // (A thin wrapper over NewCursor — see src/common/cursor.h.)
   size_t Scan(std::string_view start, size_t count, const ScanFn& fn);
+  // Bidirectional cursor over the leaf list (contract in cursor.h). Any
+  // mutation of the index invalidates outstanding cursors.
+  std::unique_ptr<Cursor> NewCursor();
 
   uint64_t MemoryBytes() const;
   size_t size() const { return item_count_.load(std::memory_order_relaxed); }
@@ -149,6 +178,7 @@ class WormholeUnsafe {
 
  private:
   struct Node;
+  class CursorImpl;
   using Bucket = metabucket::BucketLine<Node>;
 
   Node* LookupNode(uint32_t hash, std::string_view prefix) const;
@@ -199,7 +229,14 @@ class Wormhole {
   bool Get(std::string_view key, std::string* value);
   void Put(std::string_view key, std::string_view value);
   bool Delete(std::string_view key);
+  // Wrapper over NewCursor: per-leaf snapshot semantics, fn runs with no
+  // leaf lock held (see the cursor section of the header comment).
   size_t Scan(std::string_view start, size_t count, const ScanFn& fn);
+  // Epoch-pinned bidirectional cursor, safe under concurrent writers (the
+  // protocol is described in the header comment; the contract in cursor.h).
+  // Destroy cursors promptly: a live one pins this thread's QSBR epoch in
+  // the index's domain, deferring all reclamation behind it.
+  std::unique_ptr<Cursor> NewCursor();
 
   // Batched point lookups. values and hits are resized to keys.size(); on a
   // miss the value slot is cleared and the hit byte is 0. The whole batch
@@ -228,6 +265,7 @@ class Wormhole {
  private:
   struct Node;
   struct Leaf;
+  class CursorImpl;
   // Immutable once published: updates build a copy of the line chain and
   // swing the bucket head pointer; the old lines are retired via QSBR.
   using Bucket = metabucket::BucketLine<Node>;

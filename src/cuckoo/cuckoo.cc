@@ -1,5 +1,6 @@
 #include "src/cuckoo/cuckoo.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/common/bytes.h"
@@ -148,6 +149,94 @@ uint64_t CuckooHash::MemoryBytes() const {
     }
   }
   return total;
+}
+
+// The ordered fallback: one sorted snapshot of the whole table, taken lazily
+// on the first positioning call and reused until the cursor dies. The
+// O(N log N) bill is the honest cost of asking an unordered table for order.
+class CuckooHash::CursorImpl : public Cursor {
+ public:
+  explicit CursorImpl(CuckooHash* table) : table_(table) {}
+
+  void Seek(std::string_view target) override {
+    Snapshot();
+    pos_ = static_cast<size_t>(
+        std::lower_bound(items_.begin(), items_.end(), target,
+                         [](const Item& item, std::string_view k) {
+                           return item.key < k;
+                         }) -
+        items_.begin());
+    valid_ = pos_ < items_.size();
+  }
+
+  void SeekForPrev(std::string_view target) override {
+    Snapshot();
+    // First key > target, then step back onto the floor.
+    const size_t above = static_cast<size_t>(
+        std::lower_bound(items_.begin(), items_.end(), target,
+                         [](const Item& item, std::string_view k) {
+                           return item.key <= k;
+                         }) -
+        items_.begin());
+    valid_ = above > 0;
+    pos_ = valid_ ? above - 1 : 0;
+  }
+
+  bool Valid() const override { return valid_; }
+
+  void Next() override {
+    if (!valid_) {
+      return;
+    }
+    pos_++;
+    valid_ = pos_ < items_.size();
+  }
+
+  void Prev() override {
+    if (!valid_) {
+      return;
+    }
+    valid_ = pos_ > 0;
+    if (valid_) {
+      pos_--;
+    }
+  }
+
+  std::string_view key() const override { return items_[pos_].key; }
+  std::string_view value() const override { return items_[pos_].value; }
+
+ private:
+  struct Item {
+    std::string key;
+    std::string value;
+  };
+
+  void Snapshot() {
+    if (snapped_) {
+      return;
+    }
+    snapped_ = true;
+    items_.reserve(table_->count_);
+    for (const Bucket& b : table_->buckets_) {
+      for (const Slot& s : b.slots) {
+        if (s.used) {
+          items_.push_back(Item{s.key, s.value});
+        }
+      }
+    }
+    std::sort(items_.begin(), items_.end(),
+              [](const Item& a, const Item& b) { return a.key < b.key; });
+  }
+
+  CuckooHash* table_;
+  std::vector<Item> items_;
+  size_t pos_ = 0;
+  bool valid_ = false;
+  bool snapped_ = false;
+};
+
+std::unique_ptr<Cursor> CuckooHash::NewCursor() {
+  return std::make_unique<CursorImpl>(this);
 }
 
 }  // namespace wh

@@ -1,15 +1,20 @@
 // Bucketized cuckoo hash table (MemC3-style): two candidate buckets of four
 // slots each, partial-key tags for cheap slot filtering, greedy eviction with
 // a kick limit, and doubling on failure. The paper's unordered upper bound for
-// point lookups — no range scans by design. Single-writer only.
+// point lookups — no efficient range scans by design (NewCursor exists only
+// as an O(N log N) sorted-snapshot fallback so the differential cursor suite
+// covers this index too; it is exactly the cost an unordered table pays for
+// order, which is the paper's point). Single-writer only.
 #ifndef WH_SRC_CUCKOO_CUCKOO_H_
 #define WH_SRC_CUCKOO_CUCKOO_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "src/common/cursor.h"
 #include "src/common/rng.h"
 
 namespace wh {
@@ -23,12 +28,17 @@ class CuckooHash {
   bool Get(std::string_view key, std::string* value);
   void Put(std::string_view key, std::string_view value);
   bool Delete(std::string_view key);
+  // Ordered fallback: the first positioning call materializes one sorted
+  // snapshot of the whole table (O(N log N)), which later calls reuse.
+  // Mutation invalidates outstanding cursors like every single-writer index.
+  std::unique_ptr<Cursor> NewCursor();
   uint64_t MemoryBytes() const;
   size_t size() const { return count_; }
 
  private:
   static constexpr int kSlotsPerBucket = 4;
   static constexpr int kMaxKicks = 256;
+  class CursorImpl;
 
   struct Slot {
     bool used = false;

@@ -81,60 +81,163 @@ bool Masstree::Delete(std::string_view key) {
   return DeleteRec(&root_, key);
 }
 
-void Masstree::ScanLayer(const Layer* layer, std::string* acc, bool free,
-                         ScanCtx& ctx) {
-  const size_t d = acc->size();
-  auto it = layer->entries.begin();
-  if (!free) {
-    if (d >= ctx.start.size()) {
-      // The path already equals the whole start key; everything below extends
-      // it and so sorts at or after it.
-      free = true;
-    } else {
-      it = layer->entries.lower_bound(ctx.start.substr(d, kSliceLen));
-    }
+bool Masstree::MinKey(const Layer* layer, std::string* acc, std::string* value) {
+  const auto it = layer->entries.begin();
+  if (it == layer->entries.end()) {
+    return false;  // only reachable for an empty root: sub-layers are pruned
   }
-  for (; it != layer->entries.end(); ++it) {
-    if (ctx.stopped || ctx.emitted >= ctx.limit) {
-      return;
-    }
-    const std::string& slice = it->first;
+  acc->append(it->first);
+  if (it->second.has_value) {
+    // The entry's own key sorts before every deeper key extending its slice.
+    value->assign(it->second.value);
+    return true;
+  }
+  return MinKey(it->second.next.get(), acc, value);
+}
+
+bool Masstree::MaxKey(const Layer* layer, std::string* acc, std::string* value) {
+  const auto it = layer->entries.rbegin();
+  if (it == layer->entries.rend()) {
+    return false;
+  }
+  acc->append(it->first);
+  if (it->second.next) {
+    // Deeper keys extend the slice and sort after the entry's own key.
+    return MaxKey(it->second.next.get(), acc, value);
+  }
+  value->assign(it->second.value);
+  return true;
+}
+
+bool Masstree::CeilLayer(const Layer* layer, std::string_view rest, bool strict,
+                         std::string* acc, std::string* value) {
+  // Entries with slice < rest's first-slice prefix cannot reach the bound:
+  // a short slice never continues deeper, so its own key settles the order.
+  const std::string_view rest8 = rest.substr(0, std::min(rest.size(), kSliceLen));
+  for (auto it = layer->entries.lower_bound(rest8); it != layer->entries.end();
+       ++it) {
+    const std::string_view sv(it->first);
     const LayerEntry& e = it->second;
-    bool geq = true;      // acc+slice >= start
-    bool on_path = false;  // slice is a proper prefix of the remaining start
-    if (!free) {
-      // acc == start[0..d), so only the slice / remaining-start order matters.
-      const std::string_view remaining = ctx.start.substr(d);
-      const std::string_view sv(slice);
-      geq = sv >= remaining;
-      on_path = !geq && remaining.size() > sv.size() &&
-                remaining.substr(0, sv.size()) == sv;
+    // Entry's own key: acc+sv vs target acc+rest reduces to sv vs rest.
+    if (e.has_value && (sv > rest || (sv == rest && !strict))) {
+      acc->append(it->first);
+      value->assign(e.value);
+      return true;
     }
-    const size_t old_len = acc->size();
-    acc->append(slice);
-    if (e.has_value && geq) {
-      ctx.emitted++;
-      if (!ctx.fn(*acc, e.value)) {
-        ctx.stopped = true;
+    if (e.next) {
+      const size_t old_len = acc->size();
+      if (sv >= rest) {
+        // Deeper keys strictly extend acc+sv >= target, so all qualify.
+        acc->append(it->first);
+        if (MinKey(e.next.get(), acc, value)) {
+          return true;
+        }
+        acc->resize(old_len);
+      } else if (rest.size() > sv.size() && rest.substr(0, sv.size()) == sv) {
+        // On the target's path (sv is a full 8-byte slice): recurse bounded.
+        acc->append(it->first);
+        if (CeilLayer(e.next.get(), rest.substr(kSliceLen), strict, acc, value)) {
+          return true;
+        }
+        acc->resize(old_len);
       }
+      // else: sv < rest off-path, the whole subtree sorts below the target.
     }
-    if (!ctx.stopped && ctx.emitted < ctx.limit && e.next && (geq || on_path)) {
-      // Once acc+slice >= start, every deeper key extends it and stays >= start.
-      ScanLayer(e.next.get(), acc, geq, ctx);
-    }
-    acc->resize(old_len);
   }
+  return false;
+}
+
+bool Masstree::FloorLayer(const Layer* layer, std::string_view rest, bool strict,
+                          std::string* acc, std::string* value) {
+  const std::string_view rest8 = rest.substr(0, std::min(rest.size(), kSliceLen));
+  // Entries with slice > rest8 diverge above the target; walk down from there.
+  auto it = layer->entries.upper_bound(rest8);
+  while (it != layer->entries.begin()) {
+    --it;
+    const std::string_view sv(it->first);
+    const LayerEntry& e = it->second;
+    if (e.next) {
+      const size_t old_len = acc->size();
+      const bool on_path =
+          rest.size() > sv.size() && rest.substr(0, sv.size()) == sv;
+      if (on_path) {
+        acc->append(it->first);
+        if (FloorLayer(e.next.get(), rest.substr(kSliceLen), strict, acc, value)) {
+          return true;
+        }
+        acc->resize(old_len);
+      } else if (sv < rest) {
+        // Off-path below the target: the whole subtree qualifies.
+        acc->append(it->first);
+        if (MaxKey(e.next.get(), acc, value)) {
+          return true;
+        }
+        acc->resize(old_len);
+      }
+      // else: sv == rest (deeper keys extend past the target) or sv > rest.
+    }
+    if (e.has_value && (sv < rest || (sv == rest && !strict))) {
+      acc->append(it->first);
+      value->assign(e.value);
+      return true;
+    }
+  }
+  return false;
+}
+
+class Masstree::CursorImpl : public Cursor {
+ public:
+  explicit CursorImpl(Masstree* tree) : tree_(tree) {}
+
+  void Seek(std::string_view target) override { Position(target, false, false); }
+  void SeekForPrev(std::string_view target) override {
+    Position(target, true, false);
+  }
+
+  bool Valid() const override { return valid_; }
+
+  void Next() override {
+    if (valid_) {
+      // key_ doubles as the bound and the output; Position copies it first.
+      Position(key_, false, true);
+    }
+  }
+
+  void Prev() override {
+    if (valid_) {
+      Position(key_, true, true);
+    }
+  }
+
+  std::string_view key() const override { return key_; }
+  std::string_view value() const override { return value_; }
+
+ private:
+  void Position(std::string_view target, bool backward, bool strict) {
+    const std::string bound(target);  // target may alias key_
+    std::string found;
+    std::shared_lock<std::shared_mutex> g(tree_->mu_);
+    valid_ = backward
+                 ? FloorLayer(&tree_->root_, bound, strict, &found, &value_)
+                 : CeilLayer(&tree_->root_, bound, strict, &found, &value_);
+    if (valid_) {
+      key_ = std::move(found);
+    }
+  }
+
+  Masstree* tree_;
+  std::string key_;
+  std::string value_;
+  bool valid_ = false;
+};
+
+std::unique_ptr<Cursor> Masstree::NewCursor() {
+  return std::make_unique<CursorImpl>(this);
 }
 
 size_t Masstree::Scan(std::string_view start, size_t count, const ScanFn& fn) {
-  std::shared_lock<std::shared_mutex> g(mu_);
-  if (count == 0) {
-    return 0;
-  }
-  ScanCtx ctx{start, fn, count};
-  std::string acc;
-  ScanLayer(&root_, &acc, false, ctx);
-  return ctx.emitted;
+  CursorImpl c(this);
+  return ScanViaCursor(&c, start, count, fn);
 }
 
 uint64_t Masstree::LayerBytes(const Layer* layer) {

@@ -16,6 +16,7 @@
 #include <string>
 #include <string_view>
 
+#include "src/common/cursor.h"
 #include "src/common/scan.h"
 
 namespace wh {
@@ -30,10 +31,16 @@ class Masstree {
   void Put(std::string_view key, std::string_view value);
   bool Delete(std::string_view key);
   size_t Scan(std::string_view start, size_t count, const ScanFn& fn);
+  // Every cursor call is one successor/predecessor descent through the layers
+  // under its own shared lock, so cursors stay usable under concurrent
+  // writers (each step observes the tree at that instant; the copied current
+  // key/value never dangle).
+  std::unique_ptr<Cursor> NewCursor();
   uint64_t MemoryBytes() const;
 
  private:
   static constexpr size_t kSliceLen = 8;
+  class CursorImpl;
 
   struct Layer;
   struct LayerEntry {
@@ -45,18 +52,20 @@ class Masstree {
     std::map<std::string, LayerEntry, std::less<>> entries;
   };
 
-  struct ScanCtx {
-    std::string_view start;
-    const ScanFn& fn;
-    size_t limit;
-    size_t emitted = 0;
-    bool stopped = false;
-  };
-
   // Returns true if the key existed and was deleted. Empty sub-layers and
   // dead entries are pruned on the way back up.
   static bool DeleteRec(Layer* layer, std::string_view rest);
-  static void ScanLayer(const Layer* layer, std::string* acc, bool free, ScanCtx& ctx);
+  // Smallest key in layer's subtree that is (strict ? > : >=) acc+rest,
+  // where acc is the path of slices consumed so far: on success acc holds the
+  // found key's remaining path appended and *value its payload. FloorLayer is
+  // the mirror (largest key (strict ? < : <=) acc+rest). MinKey/MaxKey take
+  // the subtree extremum outright.
+  static bool CeilLayer(const Layer* layer, std::string_view rest, bool strict,
+                        std::string* acc, std::string* value);
+  static bool FloorLayer(const Layer* layer, std::string_view rest, bool strict,
+                         std::string* acc, std::string* value);
+  static bool MinKey(const Layer* layer, std::string* acc, std::string* value);
+  static bool MaxKey(const Layer* layer, std::string* acc, std::string* value);
   static uint64_t LayerBytes(const Layer* layer);
 
   Layer root_;

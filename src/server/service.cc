@@ -91,6 +91,7 @@ void Service::Execute(const std::vector<Request>& batch,
           (*responses)[idx[i]].found = index->Delete(batch[idx[i]].key);
           break;
         case Op::kScan:
+        case Op::kScanRev:
           ExecuteScan(s, batch[idx[i]], &(*responses)[idx[i]]);
           break;
       }
@@ -99,23 +100,45 @@ void Service::Execute(const std::vector<Request>& batch,
   }
 }
 
+// Merges per-shard cursor streams into one globally ordered result. An
+// ascending scan can only find keys in shards first_shard.. (everything
+// below holds keys < the start key's shard range); a descending one only in
+// ..first_shard. This is the k-way merge over per-shard cursors specialized
+// to this router's shard ranges, which are DISJOINT and in scan order: at
+// any instant exactly one open cursor could hold the extreme key, so the
+// general repeatedly-pick-the-minimum loop collapses to draining one
+// shard's cursor at a time, each opened (one epoch pin + route + leaf-window
+// copy) only when the scan reaches it. Written as the explicit drain, not
+// the general merge, so the code says what actually executes; a router with
+// overlapping ranges would need the real k-cursor selection loop back.
+// Unlike the old anchor-restart stitching there are no boundary re-seeks,
+// and reverse iteration falls out of the same structure.
 void Service::ExecuteScan(size_t first_shard, const Request& req,
                           Response* resp) {
+  resp->items.clear();
   const size_t limit = req.scan_limit;
-  for (size_t s = first_shard; s < shards_.size() && resp->items.size() < limit;
-       s++) {
-    // Every key in shard s is >= its lower boundary anchor, so continuing
-    // from that anchor visits the whole shard; appending per-shard ordered
-    // results stitches one globally ordered stream.
-    const std::string_view start =
-        s == first_shard ? std::string_view(req.key)
-                         : std::string_view(router_.boundaries()[s - 1]);
-    shards_[s].index->Scan(start, limit - resp->items.size(),
-                           [&](std::string_view k, std::string_view v) {
-                             resp->items.emplace_back(std::string(k),
-                                                      std::string(v));
-                             return true;
-                           });
+  if (limit == 0) {
+    return;  // contract (service.h): scan_limit 0 -> empty response
+  }
+  const bool reverse = req.op == Op::kScanRev;
+  const size_t candidates =
+      reverse ? first_shard + 1 : shards_.size() - first_shard;
+  for (size_t i = 0; i < candidates && resp->items.size() < limit; i++) {
+    const size_t s = reverse ? first_shard - i : first_shard + i;
+    std::unique_ptr<Cursor> c = shards_[s].index->NewCursor();
+    if (reverse) {
+      c->SeekForPrev(req.key);
+    } else {
+      c->Seek(req.key);
+    }
+    while (c->Valid() && resp->items.size() < limit) {
+      resp->items.emplace_back(std::string(c->key()), std::string(c->value()));
+      if (reverse) {
+        c->Prev();
+      } else {
+        c->Next();
+      }
+    }
   }
 }
 

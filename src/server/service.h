@@ -16,11 +16,17 @@
 //
 // Ordering contract: requests to the same shard (hence: all requests touching
 // any single key) are applied in batch order. Requests to different shards
-// may interleave arbitrarily; a Scan that crosses shard boundaries observes
-// each subsequent shard at the moment the scan reaches it. Cross-shard Scan
-// results are still globally ordered: shards partition the keyspace in order,
-// so stitching per-shard ordered results end-to-end yields one ordered
-// stream.
+// may interleave arbitrarily. Scans (kScan ascending from the start key,
+// kScanRev descending from it) merge per-shard epoch-pinned cursor streams
+// — the k-way merge specialized to this router's disjoint, ordered shard
+// ranges, where picking the extreme key at each step collapses to draining
+// one shard's cursor at a time, opened lazily as the scan reaches it.
+// Because shards partition the keyspace in order, the merged stream is
+// globally ordered, and under quiescence it is exactly the ordered whole;
+// under concurrent writers each shard contributes per-leaf-snapshot results
+// (see wormhole.h), observed from the moment the scan reaches it.
+// A scan_limit of 0 is valid and returns an empty item list (no shard is
+// visited, no cursor opened).
 //
 // Threading contract: Execute() may be called concurrently from any number of
 // client threads — the router is immutable and each shard is a concurrent
@@ -44,19 +50,22 @@
 
 namespace wh {
 
-enum class Op : uint8_t { kGet, kPut, kDelete, kScan };
+enum class Op : uint8_t { kGet, kPut, kDelete, kScan, kScanRev };
 
 struct Request {
   Op op = Op::kGet;
-  std::string key;          // Get/Put/Delete key; Scan start (inclusive)
+  std::string key;          // Get/Put/Delete key; Scan/ScanRev start (inclusive)
   std::string value;        // Put payload
-  uint32_t scan_limit = 0;  // Scan: max items returned
+  // Scan/ScanRev: max items returned. 0 is valid and yields an empty item
+  // list (documented in the ordering contract above).
+  uint32_t scan_limit = 0;
 };
 
 struct Response {
   bool found = false;  // Get: hit; Delete: key existed; Put: always true
   std::string value;   // Get hit payload
-  // Scan results in global key order (stitched across shard boundaries).
+  // Scan results merged across shards into one globally ordered stream:
+  // ascending from the start key for kScan, descending for kScanRev.
   std::vector<std::pair<std::string, std::string>> items;
 };
 

@@ -95,16 +95,64 @@ bool SkipList::Delete(std::string_view key) {
   return true;
 }
 
-size_t SkipList::Scan(std::string_view start, size_t count, const ScanFn& fn) {
-  size_t emitted = 0;
-  for (SkipNode* n = FindGreaterOrEqual(start, nullptr);
-       n != nullptr && emitted < count; n = n->next[0]) {
-    emitted++;
-    if (!fn(n->key, n->value)) {
-      break;
+class SkipList::CursorImpl : public Cursor {
+ public:
+  explicit CursorImpl(SkipList* list) : list_(list) {}
+
+  void Seek(std::string_view target) override {
+    node_ = list_->FindGreaterOrEqual(target, nullptr);
+  }
+
+  void SeekForPrev(std::string_view target) override {
+    SkipNode* prev[kMaxHeight];
+    for (int i = 0; i < kMaxHeight; i++) {
+      prev[i] = list_->head_;
+    }
+    SkipNode* ge = list_->FindGreaterOrEqual(target, prev);
+    if (ge != nullptr && ge->key == target) {
+      node_ = ge;  // exact hit is the floor
+    } else {
+      // prev[0] is the rightmost node < target; the head sentinel means none.
+      node_ = prev[0] == list_->head_ ? nullptr : prev[0];
     }
   }
-  return emitted;
+
+  bool Valid() const override { return node_ != nullptr; }
+
+  void Next() override {
+    if (node_ != nullptr) {
+      node_ = node_->next[0];
+    }
+  }
+
+  void Prev() override {
+    if (node_ == nullptr) {
+      return;
+    }
+    // No back pointers: re-descend for the rightmost node < current key.
+    SkipNode* prev[kMaxHeight];
+    for (int i = 0; i < kMaxHeight; i++) {
+      prev[i] = list_->head_;
+    }
+    list_->FindGreaterOrEqual(node_->key, prev);
+    node_ = prev[0] == list_->head_ ? nullptr : prev[0];
+  }
+
+  std::string_view key() const override { return node_->key; }
+  std::string_view value() const override { return node_->value; }
+
+ private:
+  SkipList* list_;
+  SkipNode* node_ = nullptr;
+};
+
+std::unique_ptr<Cursor> SkipList::NewCursor() {
+  return std::make_unique<CursorImpl>(this);
+}
+
+size_t SkipList::Scan(std::string_view start, size_t count, const ScanFn& fn) {
+  CursorImpl c(this);
+  return ScanViaCursor(&c, start, count, fn);
 }
 
 uint64_t SkipList::MemoryBytes() const {

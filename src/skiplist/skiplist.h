@@ -4,10 +4,12 @@
 #define WH_SRC_SKIPLIST_SKIPLIST_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "src/common/cursor.h"
 #include "src/common/rng.h"
 #include "src/common/scan.h"
 
@@ -24,10 +26,14 @@ class SkipList {
   void Put(std::string_view key, std::string_view value);
   bool Delete(std::string_view key);
   size_t Scan(std::string_view start, size_t count, const ScanFn& fn);
+  // Forward steps follow level-0 links; Prev re-descends for the predecessor
+  // (skip lists have no back links). Mutation invalidates cursors.
+  std::unique_ptr<Cursor> NewCursor();
   uint64_t MemoryBytes() const;
 
  private:
   static constexpr int kMaxHeight = 16;
+  class CursorImpl;
 
   struct SkipNode {
     std::string key;

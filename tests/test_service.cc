@@ -39,6 +39,16 @@ Pairs WormholeScan(Wormhole* index, std::string_view start, size_t count) {
   return out;
 }
 
+// Reverse oracle: descending from `start` (inclusive) via a cursor.
+Pairs WormholeScanRev(Wormhole* index, std::string_view start, size_t count) {
+  Pairs out;
+  auto c = index->NewCursor();
+  for (c->SeekForPrev(start); c->Valid() && out.size() < count; c->Prev()) {
+    out.emplace_back(std::string(c->key()), std::string(c->value()));
+  }
+  return out;
+}
+
 TEST(ShardRouter, ExplicitBoundaries) {
   const ShardRouter router({"g", "p"});
   EXPECT_EQ(router.shard_count(), 3u);
@@ -289,16 +299,24 @@ void RunServiceDifferential(size_t shards, uint64_t seed) {
       Request req;
       const uint64_t roll = rng.NextBounded(100);
       if (read_only) {
-        if (roll < 70) {
+        if (roll < 60) {
           req.op = Op::kGet;
           req.key = pick_key();
         } else {
-          req.op = Op::kScan;
+          // Forward and reverse scans, with YCSB-E-style short limits (16 /
+          // 128) mixed into the random ones so both merge shapes are hit.
+          req.op = roll < 80 ? Op::kScan : Op::kScanRev;
           req.key = pick_key();
-          req.scan_limit = 1 + static_cast<uint32_t>(rng.NextBounded(200));
+          const uint64_t shape = rng.NextBounded(4);
+          req.scan_limit =
+              shape == 0 ? 16
+                         : (shape == 1
+                                ? 128
+                                : 1 + static_cast<uint32_t>(rng.NextBounded(200)));
           if (roll >= 95 && !router.boundaries().empty()) {
             // Start just below a shard boundary so the scan provably crosses
-            // it (the boundary itself sorts above its truncated prefix).
+            // it (the boundary itself sorts above its truncated prefix) —
+            // forward upward, reverse downward across the same boundary.
             const auto& b =
                 router.boundaries()[rng.NextBounded(router.boundaries().size())];
             req.key = b.substr(0, b.size() - 1);
@@ -356,16 +374,27 @@ void RunServiceDifferential(size_t shards, uint64_t seed) {
               << req.scan_limit;
           break;
         }
+        case Op::kScanRev: {
+          const Pairs want = WormholeScanRev(&reference, req.key, req.scan_limit);
+          ASSERT_EQ(got.items, want)
+              << "round " << round << " ScanRev from " << req.key << " limit "
+              << req.scan_limit;
+          break;
+        }
       }
     }
   }
 
-  // End state: the stitched full scan equals the reference, shard by shard
-  // and across every boundary.
+  // End state: the merged full scans equal the reference in both directions,
+  // shard by shard and across every boundary, byte for byte.
   ASSERT_EQ(service.size(), reference.size());
   batch.assign(1, Request{Op::kScan, "", "", 1u << 30});
   service.Execute(batch, &responses);
   EXPECT_EQ(responses[0].items, WormholeScan(&reference, "", 1u << 30));
+  const std::string top(64, '\x7e');
+  batch.assign(1, Request{Op::kScanRev, top, "", 1u << 30});
+  service.Execute(batch, &responses);
+  EXPECT_EQ(responses[0].items, WormholeScanRev(&reference, top, 1u << 30));
 }
 
 TEST(ServiceDifferential, SingleShardMatchesWormhole) {
@@ -405,10 +434,50 @@ TEST(Service, CrossShardScanStitchesInOrder) {
   service.Execute(batch, &responses);
   EXPECT_EQ(responses[0].items.size(), 10u);
 
-  // scan_limit 0 returns nothing.
-  batch.assign(1, Request{Op::kScan, "", "", 0});
+  // Reverse across both boundaries: descending from k450 through shard 2,
+  // across k400 and k200, down into shard 0.
+  batch.assign(1, Request{Op::kScanRev, "k450", "", 300});
+  service.Execute(batch, &responses);
+  ASSERT_EQ(responses[0].items.size(), 300u);
+  for (int i = 0; i < 300; i++) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "k%03d", 450 - i);
+    ASSERT_EQ(responses[0].items[static_cast<size_t>(i)].first, buf);
+  }
+
+  // A reverse scan that exhausts the keyspace stops cleanly before shard 0.
+  batch.assign(1, Request{Op::kScanRev, "k009", "", 100});
+  service.Execute(batch, &responses);
+  EXPECT_EQ(responses[0].items.size(), 10u);
+}
+
+// Contract regression (service.h): scan_limit == 0 is a valid request that
+// yields an empty item list — in both directions, regardless of where the
+// start key routes, even mixed into a batch with real work.
+TEST(Service, ZeroScanLimitYieldsEmptyResponse) {
+  Service service(ServiceOptions{}, ShardRouter({"k200", "k400"}));
+  std::vector<Request> batch;
+  std::vector<Response> responses;
+  for (int i = 0; i < 600; i++) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "k%03d", i);
+    batch.push_back(Request{Op::kPut, buf, "v", 0});
+  }
+  service.Execute(batch, &responses);
+
+  batch.clear();
+  batch.push_back(Request{Op::kScan, "", "", 0});
+  batch.push_back(Request{Op::kScan, "k300", "", 0});
+  batch.push_back(Request{Op::kScanRev, "k300", "", 0});
+  batch.push_back(Request{Op::kGet, "k123", "", 0});
+  batch.push_back(Request{Op::kScanRev, "zzz", "", 0});
   service.Execute(batch, &responses);
   EXPECT_TRUE(responses[0].items.empty());
+  EXPECT_TRUE(responses[1].items.empty());
+  EXPECT_TRUE(responses[2].items.empty());
+  EXPECT_TRUE(responses[3].found);  // neighboring requests are unaffected
+  EXPECT_EQ(responses[3].value, "v");
+  EXPECT_TRUE(responses[4].items.empty());
 }
 
 TEST(Service, ConcurrentClientsKeepPerKeySemantics) {
@@ -477,6 +546,7 @@ TEST(Service, ConcurrentClientsKeepPerKeySemantics) {
               break;
             }
             case Op::kScan:
+            case Op::kScanRev:
               break;
           }
         }
