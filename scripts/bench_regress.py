@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Scan-throughput regression gate over BENCH_<date>.json snapshots.
+
+The two metrics that regressed in the PR-5 cursor rewrite — and that this
+gate exists to keep from regressing silently again:
+
+  service-ycsb-e   service_mixed, mean of the YCSB-E column across shard rows
+  fig18-fwd-100    fig18_range "forward scan 100" section, mean of the
+                   Wormhole row across keysets
+
+Usage:
+  bench_regress.py env BASELINE.json
+      Print "SCALE THREADS SECONDS" from the baseline header, so the caller
+      re-runs the benches at the exact config the baseline recorded.
+  bench_regress.py compare BASELINE.json CURRENT.json [--threshold 0.7]
+      Exit 1 if either metric in CURRENT falls below threshold * BASELINE.
+
+Absolute numbers only compare on the same hardware (snapshots record nproc);
+the default threshold of 0.7 (fail on a >30% drop) leaves room for machine
+noise while catching a real regression, which historically showed up as a
+2-4x drop, not 30%.
+"""
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def bench_named(snapshot, name):
+    for bench in snapshot.get("benches", []):
+        if bench.get("bench") == name:
+            return bench
+    return None
+
+
+def mean(values):
+    values = [v for v in values if isinstance(v, (int, float))]
+    return sum(values) / len(values) if values else None
+
+
+def service_ycsb_e(snapshot):
+    bench = bench_named(snapshot, "service_mixed")
+    if bench is None:
+        return None
+    for section in bench.get("sections", []):
+        cols = section.get("cols", [])
+        if "YCSB-E" not in cols:
+            continue
+        idx = cols.index("YCSB-E")
+        return mean(row["values"][idx] for row in section.get("rows", []))
+    return None
+
+
+def fig18_forward_100(snapshot):
+    bench = bench_named(snapshot, "fig18_range")
+    if bench is None:
+        return None
+    for section in bench.get("sections", []):
+        if "forward scan 100" not in section.get("title", ""):
+            continue
+        for row in section.get("rows", []):
+            if row.get("label") == "Wormhole":
+                return mean(row["values"])
+    return None
+
+
+METRICS = [
+    ("service-ycsb-e", service_ycsb_e),
+    ("fig18-fwd-100", fig18_forward_100),
+]
+
+
+def cmd_env(args):
+    snap = load(args.baseline)
+    print(f"{snap['scale']} {snap['threads']} {snap['seconds']}")
+    return 0
+
+
+def cmd_compare(args):
+    base = load(args.baseline)
+    cur = load(args.current)
+    failed = False
+    for name, extract in METRICS:
+        b = extract(base)
+        c = extract(cur)
+        if b is None:
+            # An old baseline without the bench cannot gate this metric.
+            print(f"{name}: baseline has no value; skipped")
+            continue
+        if c is None:
+            print(f"{name}: MISSING from current run (baseline {b:.4f})")
+            failed = True
+            continue
+        floor = args.threshold * b
+        verdict = "ok" if c >= floor else "REGRESSION"
+        print(
+            f"{name}: current {c:.4f} vs baseline {b:.4f} "
+            f"(floor {floor:.4f}) {verdict}"
+        )
+        if c < floor:
+            failed = True
+    return 1 if failed else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_env = sub.add_parser("env", help="print baseline's SCALE THREADS SECONDS")
+    p_env.add_argument("baseline")
+    p_env.set_defaults(func=cmd_env)
+
+    p_cmp = sub.add_parser("compare", help="gate current against baseline")
+    p_cmp.add_argument("baseline")
+    p_cmp.add_argument("current")
+    p_cmp.add_argument("--threshold", type=float, default=0.7)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    args = parser.parse_args()
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,11 @@
 #
 #   scripts/bench_snapshot.sh [outfile]     # default: BENCH_<YYYYMMDD>.json
 #
+# Same-day runs with the default name pick the next free monotonic suffix
+# (BENCH_<date>.json, then _2, _3, ...) — a later snapshot never overwrites
+# an earlier one. An EXPLICIT outfile that already exists is a hard error:
+# overwriting a committed baseline is never what anyone meant.
+#
 # Env overrides: WH_BENCH_SCALE / WH_BENCH_THREADS / WH_BENCH_SECONDS (smoke
 # defaults below keep the whole run under ~2 minutes), BUILD_DIR (default
 # "build").
@@ -17,7 +22,21 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
-OUT="${1:-BENCH_$(date +%Y%m%d).json}"
+if [[ $# -ge 1 ]]; then
+  OUT="$1"
+  if [[ -e "$OUT" ]]; then
+    echo "error: $OUT already exists; refusing to overwrite a snapshot" >&2
+    exit 1
+  fi
+else
+  BASE="BENCH_$(date +%Y%m%d)"
+  OUT="$BASE.json"
+  n=2
+  while [[ -e "$OUT" ]]; do
+    OUT="${BASE}_$n.json"
+    n=$((n + 1))
+  done
+fi
 BENCHES=(fig09_scalability fig10_lookup fig18_range service_mixed)
 
 export WH_BENCH_SCALE="${WH_BENCH_SCALE:-0.01}"

@@ -5,11 +5,12 @@
 # per-leaf-lock write paths.
 #
 #   scripts/check.sh                  # release + full ctest, ASan, TSan,
-#                                     # bench-smoke, format
+#                                     # bench-smoke, bench-regress, format
 #   scripts/check.sh --fast           # release unit tests only (no bench builds)
 #   scripts/check.sh --ci             # non-interactive; per-stage timing lines
 #   scripts/check.sh --stage <name>   # one stage:
-#                                     # release|asan|tsan|bench-smoke|format|all
+#                                     # release|asan|tsan|bench-smoke|
+#                                     # bench-regress|format|all
 #
 # The CI matrix (.github/workflows/ci.yml) runs one --stage per job so the
 # three sanitizer configs build and cache independently.
@@ -27,7 +28,7 @@ while [[ $# -gt 0 ]]; do
     --fast) FAST=1 ;;
     --ci) CI=1 ;;
     --stage)
-      STAGE="${2:?--stage needs release|asan|tsan|bench-smoke|format|all}"
+      STAGE="${2:?--stage needs release|asan|tsan|bench-smoke|bench-regress|format|all}"
       shift
       ;;
     *)
@@ -43,7 +44,8 @@ JOBS="$(nproc)"
 CTEST_FLAGS=(--output-on-failure -j "$JOBS")
 # --fast runs only unit tests, so it must not pay for the 13 bench binaries.
 TEST_TARGETS=(test_index_correctness test_cursor test_leaf_ops test_qsbr
-              test_keysets test_service test_wormhole_concurrent)
+              test_keysets test_service test_scan_fastpath
+              test_wormhole_concurrent)
 
 STAGE_T0=0
 stage_begin() {
@@ -91,7 +93,7 @@ run_tsan() {
   stage_end "tsan build"
   stage_begin "tsan: ctest (concurrent tests)"
   ctest --test-dir build-tsan "${CTEST_FLAGS[@]}" \
-    -R 'test_(wormhole_concurrent|qsbr|service)'
+    -R 'test_(wormhole_concurrent|qsbr|service|scan_fastpath)'
   stage_end "tsan ctest"
 }
 
@@ -109,17 +111,56 @@ run_bench_smoke() {
     echo "neither jq nor python3 available to validate the snapshot JSON" >&2
     exit 1
   fi
-  local out ok=1
-  out="$(mktemp /tmp/bench-smoke.XXXXXX)"
-  # No early exit before the rm: under set -e it would leak the temp file.
+  local outdir ok=1
+  # A temp *directory*: bench_snapshot.sh refuses to overwrite an existing
+  # explicit outfile, so hand it a path that does not exist yet.
+  outdir="$(mktemp -d /tmp/bench-smoke.XXXXXX)"
+  # No early exit before the rm: under set -e it would leak the temp dir.
   WH_BENCH_SCALE=0.002 WH_BENCH_THREADS=1 WH_BENCH_SECONDS=0.05 \
-    scripts/bench_snapshot.sh "$out" >/dev/null || ok=0
-  rm -f "$out"
+    scripts/bench_snapshot.sh "$outdir/snapshot.json" >/dev/null || ok=0
+  rm -rf "$outdir"
   if [[ "$ok" != 1 ]]; then
     echo "bench_snapshot.sh failed" >&2
     exit 1
   fi
   stage_end "bench-smoke"
+}
+
+run_bench_regress() {
+  stage_begin "bench-regress: scan throughput vs committed baseline"
+  # Re-runs the snapshot benches at the latest committed baseline's exact
+  # recorded config and fails on a >30% drop in either of the two metrics the
+  # PR-5 cursor rewrite regressed (service YCSB-E, fig18 Wormhole
+  # forward-100) — so the next scan regression fails the PR that causes it,
+  # not an archaeology dig two PRs later. Same-hardware caveat as the
+  # snapshots themselves: the gate compares against a baseline recorded on
+  # THIS machine (CI baselines come from CI runs).
+  if ! command -v python3 >/dev/null 2>&1; then
+    echo "python3 required for bench-regress" >&2
+    exit 1
+  fi
+  local baseline
+  baseline="$(ls BENCH_*.json 2>/dev/null | LC_ALL=C sort | tail -n 1 || true)"
+  if [[ -z "$baseline" ]]; then
+    echo "no committed BENCH_*.json baseline; nothing to gate against"
+    stage_end "bench-regress"
+    return 0
+  fi
+  echo "baseline: $baseline"
+  local scale threads seconds outdir ok=1
+  read -r scale threads seconds < <(python3 scripts/bench_regress.py env "$baseline")
+  outdir="$(mktemp -d /tmp/bench-regress.XXXXXX)"
+  WH_BENCH_SCALE="$scale" WH_BENCH_THREADS="$threads" WH_BENCH_SECONDS="$seconds" \
+    scripts/bench_snapshot.sh "$outdir/current.json" >/dev/null || ok=0
+  if [[ "$ok" == 1 ]]; then
+    python3 scripts/bench_regress.py compare "$baseline" "$outdir/current.json" || ok=0
+  fi
+  rm -rf "$outdir"
+  if [[ "$ok" != 1 ]]; then
+    echo "bench-regress failed" >&2
+    exit 1
+  fi
+  stage_end "bench-regress"
 }
 
 run_format() {
@@ -143,6 +184,7 @@ case "$STAGE" in
   asan) run_asan ;;
   tsan) run_tsan ;;
   bench-smoke) run_bench_smoke ;;
+  bench-regress) run_bench_regress ;;
   format) run_format ;;
   all)
     run_release
@@ -152,10 +194,11 @@ case "$STAGE" in
     run_asan
     run_tsan
     run_bench_smoke
+    run_bench_regress
     run_format
     ;;
   *)
-    echo "unknown stage '$STAGE' (release|asan|tsan|bench-smoke|format|all)" >&2
+    echo "unknown stage '$STAGE' (release|asan|tsan|bench-smoke|bench-regress|format|all)" >&2
     exit 2
     ;;
 esac

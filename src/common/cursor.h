@@ -40,6 +40,16 @@
 //   window is copied out under the per-leaf lock, so a cursor never holds a
 //   leaf lock across user code, and never blocks writers between calls).
 //
+// Hints:
+//   SetScanLimitHint(n) tells the cursor the caller expects to consume about
+//   n items per positioning (0 = unbounded, the default). It is purely an
+//   optimization hint — visible semantics NEVER change — and it is sticky
+//   across repositionings until overwritten. The concurrent Wormhole uses it
+//   to pick its bounded emit-in-place mode (copy only the n items the caller
+//   will read instead of the whole leaf window; see wormhole.h); emit-in-place
+//   cursors ignore it. A caller that walks past the hinted count stays
+//   correct but may pay a re-route per overstep.
+//
 // Lifetime: a cursor must not outlive its index (nor, for the concurrent
 // Wormhole, the thread's QSBR registration — destroy cursors before
 // QsbrThreadScope ends).
@@ -64,23 +74,35 @@ class Cursor {
   virtual void Prev() = 0;
   virtual std::string_view key() const = 0;
   virtual std::string_view value() const = 0;
+  // Optimization hint only (see the contract block); default: ignore it.
+  virtual void SetScanLimitHint(size_t items_per_positioning) {
+    (void)items_per_positioning;
+  }
 };
 
 // The legacy Scan(start, count, fn) semantics expressed over a cursor: visits
 // at most `count` items with key >= start in ascending order, stops early when
 // fn returns false, returns the number of fn invocations. Every index's Scan
 // entry point delegates here, so callback scans and cursors cannot drift.
-inline size_t ScanViaCursor(Cursor* c, std::string_view start, size_t count,
+// Templated over the concrete cursor type so an index passing its own
+// CursorImpl gets devirtualized calls in this hot loop; the count-th item is
+// emitted without a trailing Next(), so a bounded-window cursor never pays a
+// useless repositioning for a step nobody consumes.
+template <typename C>
+inline size_t ScanViaCursor(C* c, std::string_view start, size_t count,
                             const ScanFn& fn) {
   if (count == 0) {
     return 0;  // skip the positioning descent entirely
   }
+  c->SetScanLimitHint(count);
   size_t emitted = 0;
-  for (c->Seek(start); c->Valid() && emitted < count; c->Next()) {
+  c->Seek(start);
+  while (c->Valid()) {
     emitted++;
-    if (!fn(c->key(), c->value())) {
+    if (!fn(c->key(), c->value()) || emitted == count) {
       break;
     }
+    c->Next();
   }
   return emitted;
 }

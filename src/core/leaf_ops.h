@@ -76,6 +76,125 @@ struct LeafStore {
   std::string_view ValueAt(size_t rank) const { return Value(by_key[rank]); }
 };
 
+// A cursor's detached copy of one contiguous key-ordered rank range of a
+// leaf: every key/value byte lands in a single reusable flat buffer, with
+// offset/length entries per item — no per-item std::string, no per-item heap
+// allocation, ever. Refill() replaces the contents; both vectors keep their
+// capacity, so a cursor that reuses one FlatWindow across leaf hops (and
+// across requests, when the embedder caches cursors) stops allocating after
+// the first few windows. This is the "validated slab read" half of the
+// bounded scan fast path (wormhole.h): the copy runs under the leaf's shared
+// lock (or single-threaded), and the caller emits straight from the buffer.
+struct FlatWindow {
+  struct Entry {
+    uint32_t koff;
+    uint32_t klen;
+    uint32_t voff;
+    uint32_t vlen;
+  };
+  std::vector<char> buf;
+  std::vector<Entry> entries;
+
+  size_t size() const { return entries.size(); }
+  std::string_view KeyAt(size_t i) const {
+    const Entry& e = entries[i];
+    return {buf.data() + e.koff, e.klen};
+  }
+  std::string_view ValueAt(size_t i) const {
+    const Entry& e = entries[i];
+    return {buf.data() + e.voff, e.vlen};
+  }
+
+  static void PrefetchForRead(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+    (void)p;
+#endif
+  }
+
+  // Keys and values here are a few dozen bytes at most; a libc memcpy call
+  // per copy costs more in dispatch than the copy itself. Constant-size
+  // memcpys lower to plain register moves, and the overlapping-tail trick
+  // covers any length without ever reading or writing outside [0, n).
+  static void CopyBytes(char* dst, const char* src, size_t n) {
+    if (n > 64) {
+      // Long keys (URL-scale and up): libc's vectorized copy wins again.
+      std::memcpy(dst, src, n);
+    } else if (n >= 8) {
+      size_t i = 0;
+      for (; i + 8 < n; i += 8) {
+        std::memcpy(dst + i, src + i, 8);
+      }
+      std::memcpy(dst + n - 8, src + n - 8, 8);
+    } else if (n >= 4) {
+      std::memcpy(dst, src, 4);
+      std::memcpy(dst + n - 4, src + n - 4, 4);
+    } else {
+      for (size_t i = 0; i < n; i++) {
+        dst[i] = src[i];
+      }
+    }
+  }
+
+  // Replaces the contents with ranks [lo, hi) of s, in key order. The caller
+  // holds whatever lock protects the leaf; after Refill the window is
+  // self-contained and outlives the lock. Two passes: the first lays out
+  // entry offsets while prefetching ahead — rank order is random over the
+  // slots array and slab, so on a cold leaf every slot and key would
+  // otherwise be a serial miss — and the second is nothing but raw memcpy
+  // into the pre-sized buffer, hitting the lines pass one warmed.
+  void Refill(const LeafStore& s, size_t lo, size_t hi) {
+    entries.clear();
+    if (lo >= hi) {
+      buf.clear();
+      return;
+    }
+    if (entries.capacity() < hi - lo) {
+      entries.reserve(hi - lo);
+    }
+    // Locals so the compiler keeps the base pointers in registers: the
+    // memcpys below could alias the vectors' control blocks as far as it
+    // knows, which would force a reload per item.
+    const uint16_t* by_key = s.by_key.data();
+    const LeafSlot* slots = s.slots.data();
+    const char* slab = s.slab.data();
+    constexpr size_t kAhead = 4;  // slots to run ahead of the offset pass
+    uint32_t bytes = 0;
+    for (size_t r = lo; r < hi; r++) {
+      if (r + kAhead < hi) {
+        PrefetchForRead(&slots[by_key[r + kAhead]]);
+      }
+      const LeafSlot& sl = slots[by_key[r]];
+      PrefetchForRead(slab + sl.koff);  // key bytes for pass two
+      if (sl.vlen > kInlineValue) {
+        PrefetchForRead(slab + sl.voff);
+      }
+      Entry e;
+      e.koff = bytes;
+      e.klen = sl.klen;
+      bytes += sl.klen;
+      e.voff = bytes;
+      e.vlen = sl.vlen;
+      bytes += sl.vlen;
+      entries.push_back(e);
+    }
+    // resize(), not clear()+insert(): growth past capacity only ever happens
+    // on the first few windows, after which this is a plain size update.
+    buf.resize(bytes);
+    char* dst = buf.data();
+    const Entry* es = entries.data();
+    const size_t n = entries.size();
+    for (size_t i = 0; i < n; i++) {
+      const LeafSlot& sl = slots[by_key[lo + i]];
+      const Entry& e = es[i];
+      CopyBytes(dst + e.koff, slab + sl.koff, sl.klen);
+      const char* src = sl.vlen <= kInlineValue ? sl.vinl : slab + sl.voff;
+      CopyBytes(dst + e.voff, src, sl.vlen);
+    }
+  }
+};
+
 // Rank of the first key > bound (strict) or >= bound, in [0, size()]. The
 // floor rank (last key < / <= bound) is this minus one, with 0 meaning "all
 // keys are above the bound" — cursors then hop to the previous leaf.

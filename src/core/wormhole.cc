@@ -287,10 +287,16 @@ bool WormholeUnsafe::Delete(std::string_view key) {
   return true;
 }
 
-// Single-threaded cursor: a (leaf, rank) position straight into the live
-// structure — no copies, no locks. Any mutation of the index invalidates it
-// (contract in cursor.h).
-class WormholeUnsafe::CursorImpl : public Cursor {
+// Single-threaded emit-in-place cursor: a (leaf, rank) position straight
+// into the live structure — rank iteration off the leaf slab, no copies, no
+// locks. Any mutation of the index invalidates it (contract in cursor.h).
+// Whenever the cursor enters a leaf it prefetches the NEXT hop target —
+// header, rank index, slot array, and first slab lines, exactly what the
+// first KeyAt after a hop touches — so a drain streams leaves with the
+// memory system one leaf ahead. Peeking into a neighbor's store this way is
+// only legal here because the class is single-threaded; the concurrent
+// cursor prefetches leaf headers only.
+class WormholeUnsafe::CursorImpl final : public Cursor {
  public:
   explicit CursorImpl(WormholeUnsafe* wh) : wh_(wh) {}
 
@@ -298,6 +304,9 @@ class WormholeUnsafe::CursorImpl : public Cursor {
     leaf_ = wh_->FindLeaf(target);
     rank_ = leafops::LowerBoundRank(leaf_->store, target, /*strict=*/false);
     SkipForward();
+    if (valid_) {
+      PrefetchLeaf(leaf_->next);  // a forward drain is the common follow-up
+    }
   }
 
   void SeekForPrev(std::string_view target) override {
@@ -305,6 +314,9 @@ class WormholeUnsafe::CursorImpl : public Cursor {
     // First rank > target; StepBack lands on the floor (last key <= target).
     rank_ = leafops::LowerBoundRank(leaf_->store, target, /*strict=*/true);
     StepBack();
+    if (valid_) {
+      PrefetchLeaf(leaf_->prev);
+    }
   }
 
   bool Valid() const override { return valid_; }
@@ -328,19 +340,36 @@ class WormholeUnsafe::CursorImpl : public Cursor {
   std::string_view value() const override { return leaf_->store.ValueAt(rank_); }
 
  private:
+  static void PrefetchLeaf(const Leaf* l) {
+    if (l == nullptr) {
+      return;
+    }
+    PrefetchRead(l);
+    PrefetchRead(l->store.by_key.data());
+    PrefetchRead(l->store.slots.data());
+    PrefetchRead(l->store.slab.data());
+  }
+
   // rank_ may equal the leaf's size: advance to the next nonempty leaf (only
-  // the head leaf can be empty, but the loop is general).
+  // the head leaf can be empty, but the loop is general). On a hop, warm the
+  // leaf after the new one while this one drains.
   void SkipForward() {
+    bool hopped = false;
     while (leaf_ != nullptr && rank_ >= leaf_->store.size()) {
       leaf_ = leaf_->next;
       rank_ = 0;
+      hopped = true;
     }
     valid_ = leaf_ != nullptr;
+    if (valid_ && hopped) {
+      PrefetchLeaf(leaf_->next);
+    }
   }
 
   // Positions at the item just before rank_, hopping to earlier leaves when
   // rank_ is 0; invalidates at the front of the index.
   void StepBack() {
+    bool hopped = false;
     while (rank_ == 0) {
       leaf_ = leaf_->prev;
       if (leaf_ == nullptr) {
@@ -348,9 +377,13 @@ class WormholeUnsafe::CursorImpl : public Cursor {
         return;
       }
       rank_ = leaf_->store.size();
+      hopped = true;
     }
     rank_--;
     valid_ = true;
+    if (hopped) {
+      PrefetchLeaf(leaf_->prev);
+    }
   }
 
   WormholeUnsafe* wh_;
@@ -1135,10 +1168,24 @@ bool Wormhole::DeleteSlow(std::string_view key) {
 }
 
 // Epoch-pinned concurrent cursor (protocol in wormhole.h). Between calls it
-// holds only the QSBR pin, a leaf pointer + version snapshot, and the copied
+// holds only the QSBR pin, a leaf pointer + version snapshot, and the filled
 // window — never a lock, so a parked cursor blocks no writer and user code
 // never runs under a leaf lock.
-class Wormhole::CursorImpl : public Cursor {
+//
+// Two window modes, picked by SetScanLimitHint:
+//   unbounded (hint 0, the default): every refill copies the rest of the
+//     leaf's ordered window from the seek rank on, so a full sweep pays one
+//     refill per leaf.
+//   bounded (hint n): a refill copies at most n items — a short scan that
+//     fits the window emits straight from one validated slab read and never
+//     touches the bytes it will not return. Draining past a truncated window
+//     edge continues inside the same leaf under a version check (no
+//     re-route) and only falls back to the hash route on a lost race.
+// Either way the refill happens under the leaf's shared lock via
+// leafops::FlatWindow::Refill — one flat buffer, no per-item allocation —
+// and the seek rank is computed against the live store under that same
+// lock, so the items a positioning skips are never copied at all.
+class Wormhole::CursorImpl final : public Cursor {
  public:
   explicit CursorImpl(Wormhole* wh) : wh_(wh), slot_(wh->qsbr_->CurrentSlot()) {
     // The pin freezes this thread's epoch: leaf_ stays dereferenceable across
@@ -1153,31 +1200,42 @@ class Wormhole::CursorImpl : public Cursor {
   void Seek(std::string_view target) override {
     bound_.assign(target);
     strict_ = false;
+    consumed_ = 0;
     PositionForward();
   }
 
   void SeekForPrev(std::string_view target) override {
     bound_.assign(target);
     strict_ = false;
+    consumed_ = 0;
     PositionBackward();
   }
 
   bool Valid() const override { return valid_; }
 
+  void SetScanLimitHint(size_t items_per_positioning) override {
+    hint_ = items_per_positioning;
+  }
+
   void Next() override {
     if (!valid_) {
       return;
     }
-    if (pos_ + 1 < wsize_) {
+    consumed_++;
+    if (pos_ + 1 < win_.size()) {
       pos_++;
       return;
     }
-    // Window exhausted: the logical position is "first key > the one we just
-    // returned" — remember it so a lost hop race can re-route exactly there.
-    // assign(), not move: the window slot keeps its heap buffer for reuse.
-    bound_.assign(window_[pos_].key);
+    // Window drained: the logical position is "first key > the one we just
+    // returned" — remember it so any fallback re-routes exactly there.
+    // assign(), not a view: Refill is about to recycle the flat buffer.
+    bound_.assign(win_.KeyAt(pos_));
     strict_ = true;
-    if (!HopForward()) {
+    // A truncated window left items behind in this very leaf — a leaf hop
+    // would skip them, so continue inside the (revalidated) leaf instead.
+    if (trunc_hi_) {
+      ContinueForward();
+    } else if (!HopForward()) {
       PositionForward();
     }
   }
@@ -1186,68 +1244,89 @@ class Wormhole::CursorImpl : public Cursor {
     if (!valid_) {
       return;
     }
+    consumed_++;
     if (pos_ > 0) {
       pos_--;
       return;
     }
-    bound_.assign(window_[0].key);
+    bound_.assign(win_.KeyAt(0));
     strict_ = true;
-    if (!HopBackward()) {
+    if (trunc_lo_) {
+      ContinueBackward();
+    } else if (!HopBackward()) {
       PositionBackward();
     }
   }
 
-  std::string_view key() const override { return window_[pos_].key; }
-  std::string_view value() const override { return window_[pos_].value; }
+  std::string_view key() const override { return win_.KeyAt(pos_); }
+  std::string_view value() const override { return win_.ValueAt(pos_); }
 
  private:
-  struct Item {
-    std::string key;
-    std::string value;
-  };
-
-  // Copies the leaf's whole ordered window; caller holds leaf->lock (shared).
-  // The version snapshot taken here is what every later hop revalidates.
-  // Item slots (and their string heap buffers) are reused across windows, so
-  // after the first few leaves a steady-state scan hop allocates nothing.
-  void CopyWindow(Leaf* leaf) {
-    const leafops::LeafStore& s = leaf->store;
-    if (window_.size() < s.size()) {
-      window_.resize(s.size());
+  // Remaining per-positioning budget: the hint promises "about hint_ items
+  // consumed per Seek/SeekForPrev", so a continuation mid-scan only needs
+  // what is left of that promise — a 100-item scan that drains 68 items off
+  // its first leaf copies 32 from the next, not a fresh 100. A caller that
+  // oversteps its own hint keeps getting hint_-sized windows (one re-fill
+  // per hint_ items) rather than degenerate one-item refills.
+  size_t Budget() const {
+    if (hint_ == 0) {
+      return 0;  // unbounded mode
     }
-    for (size_t r = 0; r < s.size(); r++) {
-      window_[r].key.assign(s.KeyAt(r));
-      window_[r].value.assign(s.ValueAt(r));
-    }
-    wsize_ = s.size();
-    leaf_ = leaf;
-    leaf_version_ = leaf->version.load(std::memory_order_relaxed);
+    return consumed_ < hint_ ? hint_ - consumed_ : hint_;
   }
 
-  // Window position of the first key > b (strict) / >= b.
-  size_t LowerBoundPos(std::string_view b, bool strict) const {
-    auto it = std::lower_bound(window_.begin(),
-                               window_.begin() + static_cast<ptrdiff_t>(wsize_), b,
-                               [&](const Item& item, std::string_view k) {
-                                 return strict ? item.key <= k : item.key < k;
-                               });
-    return static_cast<size_t>(it - window_.begin());
+  // Bounded refill from ranks [lo, min(lo + budget, size)); caller holds
+  // leaf->lock shared and this RELEASES it. The version snapshot taken here
+  // is what every later hop or in-leaf continuation revalidates; trunc_*_
+  // record whether either side of the leaf was left out, i.e. whether a
+  // plain leaf hop at the matching window edge would skip items. Also the
+  // prefetch point: the likely next leaf's header is warmed while the
+  // caller drains this window. Header only — unlike the single-threaded
+  // cursor we must not peek into a neighbor's store vectors without its
+  // lock, that would race with a writer mid-mutation.
+  void FillForward(Leaf* leaf, size_t lo) {
+    const leafops::LeafStore& s = leaf->store;
+    const size_t budget = Budget();
+    const size_t hi =
+        budget == 0 ? s.size() : std::min(s.size(), lo + budget);
+    win_.Refill(s, lo, hi);
+    trunc_lo_ = lo > 0;
+    trunc_hi_ = hi < s.size();
+    leaf_ = leaf;
+    leaf_version_ = leaf->version.load(std::memory_order_relaxed);
+    PrefetchRead(leaf->next.load(std::memory_order_acquire));
+    leaf->lock.unlock_shared();
+  }
+
+  // Mirror: ranks [max(above - hint, 0), above), prefetching the prev leaf.
+  void FillBackward(Leaf* leaf, size_t above) {
+    const leafops::LeafStore& s = leaf->store;
+    const size_t budget = Budget();
+    const size_t lo = (budget == 0 || above <= budget) ? 0 : above - budget;
+    win_.Refill(s, lo, above);
+    trunc_lo_ = lo > 0;
+    trunc_hi_ = above < s.size();
+    leaf_ = leaf;
+    leaf_version_ = leaf->version.load(std::memory_order_relaxed);
+    PrefetchRead(leaf->prev.load(std::memory_order_acquire));
+    leaf->lock.unlock_shared();
   }
 
   // Fresh route to "first key (strict_ ? > : >=) bound_": Seek and the
-  // re-Seek fallback after a lost hop race. AcquireLeaf locks + validates
-  // coverage exactly like Get.
+  // re-route fallback after a lost validation race. AcquireLeaf locks +
+  // validates coverage exactly like Get.
   void PositionForward() {
     for (;;) {
       uint32_t h;
       Leaf* leaf = wh_->AcquireLeaf(bound_, Mode::kShared, &h);
-      CopyWindow(leaf);
-      leaf->lock.unlock_shared();
-      pos_ = LowerBoundPos(bound_, strict_);
-      if (pos_ < wsize_) {
+      FillForward(leaf, leafops::LowerBoundRank(leaf->store, bound_, strict_));
+      if (win_.size() > 0) {
+        pos_ = 0;
         valid_ = true;
         return;
       }
+      // Empty window here means the seek rank was the leaf's end, so the
+      // window "covers" through the leaf boundary and a hop is complete.
       if (HopForward()) {
         return;
       }
@@ -1259,11 +1338,10 @@ class Wormhole::CursorImpl : public Cursor {
     for (;;) {
       uint32_t h;
       Leaf* leaf = wh_->AcquireLeaf(bound_, Mode::kShared, &h);
-      CopyWindow(leaf);
-      leaf->lock.unlock_shared();
-      const size_t above = LowerBoundPos(bound_, !strict_);
-      if (above > 0) {
-        pos_ = above - 1;
+      FillBackward(leaf,
+                   leafops::LowerBoundRank(leaf->store, bound_, !strict_));
+      if (win_.size() > 0) {
+        pos_ = win_.size() - 1;
         valid_ = true;
         return;
       }
@@ -1273,9 +1351,55 @@ class Wormhole::CursorImpl : public Cursor {
     }
   }
 
+  // Continues past a truncated window edge without a re-route: an unchanged
+  // version proves leaf_'s coverage is intact, so the successor of bound_
+  // still lives in this same leaf — refill straight from it. A lost race
+  // falls back to the full route.
+  void ContinueForward() {
+    Leaf* cur = leaf_;
+    cur->lock.lock_shared();
+    if (cur->version.load(std::memory_order_relaxed) != leaf_version_) {
+      cur->lock.unlock_shared();
+      PositionForward();
+      return;
+    }
+    FillForward(cur,
+                leafops::LowerBoundRank(cur->store, bound_, /*strict=*/true));
+    if (win_.size() > 0) {
+      pos_ = 0;
+      valid_ = true;
+      return;
+    }
+    // Everything past bound_ in this leaf vanished since the refill (deletes
+    // do not bump the version): the window now reaches the leaf end, hop on.
+    if (!HopForward()) {
+      PositionForward();
+    }
+  }
+
+  void ContinueBackward() {
+    Leaf* cur = leaf_;
+    cur->lock.lock_shared();
+    if (cur->version.load(std::memory_order_relaxed) != leaf_version_) {
+      cur->lock.unlock_shared();
+      PositionBackward();
+      return;
+    }
+    FillBackward(cur,
+                 leafops::LowerBoundRank(cur->store, bound_, /*strict=*/false));
+    if (win_.size() > 0) {
+      pos_ = win_.size() - 1;
+      valid_ = true;
+      return;
+    }
+    if (!HopBackward()) {
+      PositionBackward();
+    }
+  }
+
   // Walks to following leaves until a nonempty window or the list end.
   // Returns false on a lost race — leaf_ split or was removed since its
-  // window was copied, or the successor died mid-hop — and the caller
+  // window was filled, or the successor died mid-hop — and the caller
   // re-routes from bound_. The version check is what makes the hop safe: an
   // unchanged version proves leaf_ never split, so its current next pointer
   // still bounds everything the window covered.
@@ -1299,9 +1423,8 @@ class Wormhole::CursorImpl : public Cursor {
         nx->lock.unlock_shared();
         return false;
       }
-      CopyWindow(nx);
-      nx->lock.unlock_shared();
-      if (wsize_ > 0) {
+      FillForward(nx, 0);
+      if (win_.size() > 0) {
         pos_ = 0;
         valid_ = true;
         return true;
@@ -1333,10 +1456,9 @@ class Wormhole::CursorImpl : public Cursor {
         pv->lock.unlock_shared();
         return false;
       }
-      CopyWindow(pv);
-      pv->lock.unlock_shared();
-      if (wsize_ > 0) {
-        pos_ = wsize_ - 1;
+      FillBackward(pv, pv->store.size());
+      if (win_.size() > 0) {
+        pos_ = win_.size() - 1;
         valid_ = true;
         return true;
       }
@@ -1345,13 +1467,16 @@ class Wormhole::CursorImpl : public Cursor {
 
   Wormhole* wh_;
   Qsbr::Slot* slot_;
-  Leaf* leaf_ = nullptr;  // leaf window_ was copied from (pin keeps it alive)
+  Leaf* leaf_ = nullptr;  // leaf win_ was filled from (pin keeps it alive)
   uint64_t leaf_version_ = 0;
-  std::vector<Item> window_;  // slots reused across leaves; wsize_ are live
-  size_t wsize_ = 0;
+  leafops::FlatWindow win_;  // flat buffers reused across refills
   size_t pos_ = 0;
   bool valid_ = false;
-  std::string bound_;  // re-Seek point: first/last key (strict_?beyond:at) it
+  bool trunc_lo_ = false;  // refill left leaf items out below the window
+  bool trunc_hi_ = false;  // ... and above it
+  size_t hint_ = 0;      // SetScanLimitHint: items per positioning (0 = all)
+  size_t consumed_ = 0;  // steps taken since the last Seek/SeekForPrev
+  std::string bound_;  // re-route point: first/last key (strict_?beyond:at) it
   bool strict_ = false;
 };
 

@@ -62,25 +62,35 @@
 //
 // Ordered cursors (src/common/cursor.h): both classes expose NewCursor() for
 // bidirectional Seek/Next/Prev iteration; Scan() is a thin wrapper over it.
-// The concurrent cursor's protocol, mirroring how Get validates:
+// WormholeUnsafe's cursor is emit-in-place: a bare (leaf, rank) position that
+// reads keys and values straight off the live leaf slab — zero copies — and
+// prefetches the next hop target (header + index + slab lines) while the
+// current leaf drains. The concurrent cursor's protocol, mirroring Get:
 //   - The cursor holds a QSBR *epoch pin* (Qsbr::Pin) for its lifetime, so
 //     the leaf pointer it remembers between calls stays dereferenceable even
 //     after the leaf is unlinked — exactly the guarantee lock-free lookups
 //     get from their implicit no-quiesce window, made explicit across calls.
 //   - Positioning routes through AcquireLeaf (lock + covers-validation +
-//     bounded retry) and copies the whole leaf's ordered window out under the
-//     per-leaf shared lock. User code only ever sees the copy: no cursor path
-//     holds a leaf lock while invoking user code, and a cursor parked between
-//     calls blocks no writer.
-//   - Next/Prev past the window hop to the neighbor leaf: re-lock the
-//     remembered leaf, revalidate via its version counter (and the
-//     neighbor's dead flag + back-link); any lost race — the leaf split, was
-//     removed, or the neighbor changed mid-hop — falls back to a fresh
-//     re-Seek from the last returned key, which can only re-route, never
-//     skip or duplicate a persistent key.
-// Consequence: a cursor observes each leaf atomically (a consistent snapshot
-// at copy time); concurrent inserts/deletes elsewhere may or may not be seen,
-// and keys present for the cursor's whole traversal are seen exactly once.
+//     bounded retry), computes the seek rank against the live store, and
+//     fills a flat window buffer from the leaf slab under the per-leaf
+//     shared lock (one validated slab read; no per-item allocation). With a
+//     SetScanLimitHint in effect the fill is BOUNDED — a scan that fits the
+//     hint copies only the items it will emit and nothing else; without a
+//     hint the fill covers the rest of the leaf. User code only ever sees
+//     the window: no cursor path holds a leaf lock while invoking user code,
+//     and a cursor parked between calls blocks no writer.
+//   - Next/Prev past a window edge flush with the leaf boundary hop to the
+//     neighbor leaf: re-lock the remembered leaf, revalidate via its version
+//     counter (and the neighbor's dead flag + back-link). Past a TRUNCATED
+//     edge (bounded fill left items behind in the same leaf) the cursor
+//     refills from the same leaf under the same version check. Any lost
+//     race — the leaf split, was removed, or the neighbor changed mid-hop —
+//     falls back to a fresh re-Seek from the last returned key, which can
+//     only re-route, never skip or duplicate a persistent key.
+// Consequence: a cursor observes each window atomically (a consistent
+// snapshot at fill time); concurrent inserts/deletes elsewhere may or may
+// not be seen, and keys present for the whole traversal are seen exactly
+// once.
 //
 // Threading requirements for embedders: threads are registered with QSBR
 // lazily on first use and unregistered at thread exit; every Wormhole
@@ -234,6 +244,8 @@ class Wormhole {
   size_t Scan(std::string_view start, size_t count, const ScanFn& fn);
   // Epoch-pinned bidirectional cursor, safe under concurrent writers (the
   // protocol is described in the header comment; the contract in cursor.h).
+  // SetScanLimitHint(n) on the returned cursor engages the bounded fill mode
+  // — short scans copy only the n items they will emit per positioning.
   // Destroy cursors promptly: a live one pins this thread's QSBR epoch in
   // the index's domain, deferring all reclamation behind it.
   std::unique_ptr<Cursor> NewCursor();

@@ -1,5 +1,7 @@
 #include "src/server/service.h"
 
+#include <algorithm>
+
 namespace wh {
 
 Service::Service(const ServiceOptions& opt, ShardRouter router)
@@ -48,6 +50,13 @@ void Service::Execute(const std::vector<Request>& batch,
   std::vector<std::string> values;
   std::vector<uint8_t> hits;
   std::vector<std::pair<std::string_view, std::string_view>> puts;
+  // One cursor per shard, opened on the first scan that touches the shard
+  // and reused (window buffers, epoch pin, QSBR slot and all) by every later
+  // scan in this batch — repositioning an existing cursor re-routes freshly,
+  // so reuse never changes what a scan observes. Stack-local, so concurrent
+  // Execute() callers never share a cursor; destroyed (pins released) when
+  // the batch returns. Sized lazily: a scan-free batch never allocates it.
+  std::vector<std::unique_ptr<Cursor>> scan_cursors;
 
   for (size_t s = 0; s < shards_.size(); s++) {
     const uint32_t* idx = order.data() + offsets[s];
@@ -92,7 +101,7 @@ void Service::Execute(const std::vector<Request>& batch,
           break;
         case Op::kScan:
         case Op::kScanRev:
-          ExecuteScan(s, batch[idx[i]], &(*responses)[idx[i]]);
+          ExecuteScan(s, batch[idx[i]], &(*responses)[idx[i]], &scan_cursors);
           break;
       }
       i = j;
@@ -113,26 +122,46 @@ void Service::Execute(const std::vector<Request>& batch,
 // overlapping ranges would need the real k-cursor selection loop back.
 // Unlike the old anchor-restart stitching there are no boundary re-seeks,
 // and reverse iteration falls out of the same structure.
+//
+// Each shard's cursor comes from *cursors — the per-batch cache Execute()
+// passes in — so a scan-heavy batch opens one cursor per shard for the WHOLE
+// batch (one epoch pin, one set of window buffers) instead of one per
+// request. The remaining item budget is threaded down as the scan-limit
+// hint, so a short scan engages the core's bounded fill and copies only the
+// items it returns; the drain emits the limit-th item without stepping past
+// it, so the cursor never pays a repositioning nobody consumes.
 void Service::ExecuteScan(size_t first_shard, const Request& req,
-                          Response* resp) {
+                          Response* resp,
+                          std::vector<std::unique_ptr<Cursor>>* cursors) {
   resp->items.clear();
   const size_t limit = req.scan_limit;
   if (limit == 0) {
     return;  // contract (service.h): scan_limit 0 -> empty response
+  }
+  resp->items.reserve(std::min<size_t>(limit, 1024));
+  if (cursors->size() != shards_.size()) {
+    cursors->resize(shards_.size());  // first scan of the batch
   }
   const bool reverse = req.op == Op::kScanRev;
   const size_t candidates =
       reverse ? first_shard + 1 : shards_.size() - first_shard;
   for (size_t i = 0; i < candidates && resp->items.size() < limit; i++) {
     const size_t s = reverse ? first_shard - i : first_shard + i;
-    std::unique_ptr<Cursor> c = shards_[s].index->NewCursor();
+    if ((*cursors)[s] == nullptr) {
+      (*cursors)[s] = shards_[s].index->NewCursor();
+    }
+    Cursor* c = (*cursors)[s].get();
+    c->SetScanLimitHint(limit - resp->items.size());
     if (reverse) {
       c->SeekForPrev(req.key);
     } else {
       c->Seek(req.key);
     }
-    while (c->Valid() && resp->items.size() < limit) {
+    while (c->Valid()) {
       resp->items.emplace_back(std::string(c->key()), std::string(c->value()));
+      if (resp->items.size() == limit) {
+        break;
+      }
       if (reverse) {
         c->Prev();
       } else {

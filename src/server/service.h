@@ -20,7 +20,12 @@
 // kScanRev descending from it) merge per-shard epoch-pinned cursor streams
 // — the k-way merge specialized to this router's disjoint, ordered shard
 // ranges, where picking the extreme key at each step collapses to draining
-// one shard's cursor at a time, opened lazily as the scan reaches it.
+// one shard's cursor at a time, opened lazily as the scan reaches it. A
+// shard's cursor is opened at most ONCE per Execute() batch and reused by
+// every scan in the batch (repositioning re-routes freshly, so reuse never
+// changes what a scan observes), and each scan's remaining item budget is
+// passed down as the cursor's scan-limit hint so short scans use the core's
+// bounded fill (see wormhole.h) and copy only the items they return.
 // Because shards partition the keyspace in order, the merged stream is
 // globally ordered, and under quiescence it is exactly the ordered whole;
 // under concurrent writers each shard contributes per-leaf-snapshot results
@@ -103,7 +108,11 @@ class Service {
     std::unique_ptr<Wormhole> index;
   };
 
-  void ExecuteScan(size_t first_shard, const Request& req, Response* resp);
+  // *cursors is Execute()'s per-batch shard-cursor cache: slot s holds the
+  // cursor for shard s once any scan in the batch has touched it (empty
+  // until the batch's first scan resizes it).
+  void ExecuteScan(size_t first_shard, const Request& req, Response* resp,
+                   std::vector<std::unique_ptr<Cursor>>* cursors);
 
   ShardRouter router_;
   std::vector<Shard> shards_;

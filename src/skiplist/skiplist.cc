@@ -95,33 +95,62 @@ bool SkipList::Delete(std::string_view key) {
   return true;
 }
 
-class SkipList::CursorImpl : public Cursor {
+// The cursor carries a predecessor stack: path_[l] is the rightmost node
+// (head sentinel included) strictly before node_ at level l, exactly the
+// prev array a descent for node_->key would produce. Seek fills it from the
+// positioning descent for free; Next slides it forward in O(1); Prev steps
+// to path_[0] and rebuilds only the levels below the new node's height by
+// walking level-l links from the still-valid higher-level predecessor —
+// amortized O(1) per step with ZERO string comparisons, so a reverse sweep
+// costs the same as a forward one instead of one full O(log n) re-descent
+// (with key comparisons) per step.
+class SkipList::CursorImpl final : public Cursor {
  public:
-  explicit CursorImpl(SkipList* list) : list_(list) {}
+  explicit CursorImpl(SkipList* list) : list_(list) {
+    for (int i = 0; i < kMaxHeight; i++) {
+      path_[i] = list_->head_;
+    }
+  }
 
   void Seek(std::string_view target) override {
-    node_ = list_->FindGreaterOrEqual(target, nullptr);
+    // The descent's prev array IS the predecessor stack: no node exists in
+    // [target, node_), so "rightmost < target" equals "rightmost < node_".
+    for (int i = 0; i < kMaxHeight; i++) {
+      path_[i] = list_->head_;
+    }
+    node_ = list_->FindGreaterOrEqual(target, path_);
   }
 
   void SeekForPrev(std::string_view target) override {
-    SkipNode* prev[kMaxHeight];
     for (int i = 0; i < kMaxHeight; i++) {
-      prev[i] = list_->head_;
+      path_[i] = list_->head_;
     }
-    SkipNode* ge = list_->FindGreaterOrEqual(target, prev);
+    SkipNode* ge = list_->FindGreaterOrEqual(target, path_);
     if (ge != nullptr && ge->key == target) {
-      node_ = ge;  // exact hit is the floor
-    } else {
-      // prev[0] is the rightmost node < target; the head sentinel means none.
-      node_ = prev[0] == list_->head_ ? nullptr : prev[0];
+      node_ = ge;  // exact hit is the floor; path_ already matches it
+      return;
+    }
+    // path_[0] is the rightmost node < target; the head sentinel means none.
+    node_ = path_[0] == list_->head_ ? nullptr : path_[0];
+    if (node_ != nullptr) {
+      // The stack describes target's predecessors, not node_'s: re-anchor it
+      // at node_ (one descent; every later Prev is then stack-driven).
+      list_->FindGreaterOrEqual(node_->key, path_);
     }
   }
 
   bool Valid() const override { return node_ != nullptr; }
 
   void Next() override {
-    if (node_ != nullptr) {
-      node_ = node_->next[0];
+    if (node_ == nullptr) {
+      return;
+    }
+    // node_ becomes the rightmost-before-successor at every level it spans;
+    // higher levels keep their predecessor (nothing lies strictly between).
+    SkipNode* old = node_;
+    node_ = old->next[0];
+    for (size_t l = 0; l < old->next.size(); l++) {
+      path_[l] = old;
     }
   }
 
@@ -129,13 +158,24 @@ class SkipList::CursorImpl : public Cursor {
     if (node_ == nullptr) {
       return;
     }
-    // No back pointers: re-descend for the rightmost node < current key.
-    SkipNode* prev[kMaxHeight];
-    for (int i = 0; i < kMaxHeight; i++) {
-      prev[i] = list_->head_;
+    SkipNode* p = path_[0];
+    if (p == list_->head_) {
+      node_ = nullptr;  // fell off the front
+      return;
     }
-    list_->FindGreaterOrEqual(node_->key, prev);
-    node_ = prev[0] == list_->head_ ? nullptr : prev[0];
+    // Levels >= height(p) stay valid (their predecessors sit below p — p
+    // itself has no pointer there, and nothing else lies in between). Each
+    // level below rebuilds by sliding from the level above's predecessor
+    // until the link hits p: pure pointer walks, no key comparisons.
+    const int h = static_cast<int>(p->next.size());
+    SkipNode* x = h < kMaxHeight ? path_[h] : list_->head_;
+    for (int l = h - 1; l >= 0; l--) {
+      while (x->next[l] != p) {
+        x = x->next[l];
+      }
+      path_[l] = x;
+    }
+    node_ = p;
   }
 
   std::string_view key() const override { return node_->key; }
@@ -144,6 +184,7 @@ class SkipList::CursorImpl : public Cursor {
  private:
   SkipList* list_;
   SkipNode* node_ = nullptr;
+  SkipNode* path_[kMaxHeight];  // rightmost node < node_ per level
 };
 
 std::unique_ptr<Cursor> SkipList::NewCursor() {

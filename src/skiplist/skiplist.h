@@ -26,8 +26,12 @@ class SkipList {
   void Put(std::string_view key, std::string_view value);
   bool Delete(std::string_view key);
   size_t Scan(std::string_view start, size_t count, const ScanFn& fn);
-  // Forward steps follow level-0 links; Prev re-descends for the predecessor
-  // (skip lists have no back links). Mutation invalidates cursors.
+  // Forward steps follow level-0 links. Skip lists have no back links, so
+  // the cursor carries a per-level predecessor stack (filled by the
+  // positioning descent, maintained incrementally): Prev is amortized O(1)
+  // pointer walks — no per-step re-descent, no key comparisons — making a
+  // reverse sweep cost the same as a forward one. Mutation invalidates
+  // cursors.
   std::unique_ptr<Cursor> NewCursor();
   uint64_t MemoryBytes() const;
 

@@ -549,6 +549,130 @@ TEST(WormholeConcurrent, ZeroCountScanDoesNotLeakLeafLock) {
   EXPECT_EQ(value, "y");
 }
 
+// Regression for the exactly-once contract (cursor.h) around the re-Seek
+// fallback: when a cursor loses a validation race it re-routes from the LAST
+// RETURNED key with strict semantics ("first key strictly greater"). If a
+// writer deletes that exact key and re-inserts it mid-race, a fallback that
+// repositioned non-strictly (">=") would return it a second time. Writers
+// here churn delete-then-reinsert of the very keys the sweeps walk, at the
+// minimum leaf capacity so deletions retire leaves and re-inserts split them
+// — every window edge races a structural change at or next to the bound key.
+// Stable keys interleave with churn keys inside the same leaves and are
+// never touched: each sweep must see every stable key exactly once, and all
+// keys strictly ordered (a double emit breaks the ordering check; a strict-
+// ness bug on the churned bound key breaks it on the re-inserted key
+// itself). Both hinted (bounded refill + in-leaf continuation) and unhinted
+// (whole-window) cursors run the same assertions, forward and reverse.
+TEST(WormholeConcurrent, ReinsertedBoundKeyIsNotEmittedTwice) {
+  Options opt;
+  opt.leaf_capacity = 4;
+  Wormhole index(opt);
+
+  // Even ids are stable, odd ids churn: every capacity-4 leaf mixes both.
+  constexpr int kSpan = 6000;
+  constexpr int kStable = kSpan / 2;
+  auto key_of = [](int i) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "re-%06d", i);
+    return std::string(buf);
+  };
+  for (int i = 0; i < kSpan; i++) {
+    index.Put(key_of(i), i % 2 == 0 ? "stable" : "churn");
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> passes{0};
+  std::atomic<uint64_t> failures{0};
+  std::vector<std::thread> threads;
+  // Two writers: delete a churn key and immediately re-insert the SAME key,
+  // so any cursor whose bound equals it races the delete/reinsert pair.
+  for (int tid = 0; tid < 2; tid++) {
+    threads.emplace_back([&, tid] {
+      Rng rng(800 + static_cast<uint64_t>(tid));
+      while (!stop.load(std::memory_order_relaxed)) {
+        const int i = 1 + 2 * static_cast<int>(rng.NextBounded(kSpan / 2));
+        const std::string k = key_of(i);
+        index.Delete(k);
+        index.Put(k, "churn");
+      }
+    });
+  }
+  // Sweep readers: hint 0 (snapshot windows) and hint 3 (bounded windows
+  // with truncated-edge continuations), one forward and one reverse each.
+  for (const size_t hint : {size_t{0}, size_t{3}}) {
+    threads.emplace_back([&, hint] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto c = index.NewCursor();
+        c->SetScanLimitHint(hint);
+        int stable_seen = 0;
+        std::string prev;
+        bool first = true;
+        for (c->Seek(""); c->Valid(); c->Next()) {
+          const std::string_view k = c->key();
+          if (!first && k <= std::string_view(prev)) {
+            failures.fetch_add(1);  // duplicate or out-of-order emit
+          }
+          first = false;
+          prev.assign(k);
+          if (c->value() == "stable") {
+            stable_seen++;
+          }
+        }
+        if (stable_seen != kStable) {
+          failures.fetch_add(1);  // stable keys are never written: lost one
+        }
+        passes.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    threads.emplace_back([&, hint] {
+      const std::string top(32, '\x7e');
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto c = index.NewCursor();
+        c->SetScanLimitHint(hint);
+        int stable_seen = 0;
+        std::string prev;
+        bool first = true;
+        for (c->SeekForPrev(top); c->Valid(); c->Prev()) {
+          const std::string_view k = c->key();
+          if (!first && k >= std::string_view(prev)) {
+            failures.fetch_add(1);
+          }
+          first = false;
+          prev.assign(k);
+          if (c->value() == "stable") {
+            stable_seen++;
+          }
+        }
+        if (stable_seen != kStable) {
+          failures.fetch_add(1);
+        }
+        passes.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+  stop.store(true);
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_GT(passes.load(), 0u);
+
+  // Quiesced: every key (stable and churn) present exactly once, in order.
+  size_t seen = 0;
+  std::string prev;
+  index.Scan("", kSpan + 1, [&](std::string_view k, std::string_view) {
+    if (seen > 0) {
+      EXPECT_LT(std::string_view(prev), k);
+    }
+    prev.assign(k);
+    seen++;
+    return true;
+  });
+  EXPECT_EQ(seen, static_cast<size_t>(kSpan));
+}
+
 TEST(WormholeConcurrent, ParallelLoadMatchesSerialLoad) {
   Options opt;
   opt.leaf_capacity = 32;
