@@ -4,13 +4,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
-#include <mutex>
 #include <thread>
 
 #include "src/art/art.h"
 #include "src/bptree/bptree.h"
 #include "src/common/qsbr.h"
 #include "src/common/rng.h"
+#include "src/common/sync.h"
 #include "src/common/timing.h"
 #include "src/core/wormhole.h"
 #include "src/cuckoo/cuckoo.h"
@@ -158,9 +158,11 @@ std::unique_ptr<IndexIface> MakeIndex(const std::string& name) {
 }
 
 const std::vector<std::string>& GetKeyset(KeysetId id, double scale) {
-  static std::mutex mu;
+  // Function-local statics: TSA cannot tie `cache` to `mu` with GUARDED_BY
+  // on locals, so the guard here is the ScopedLock spanning the whole scope.
+  static Mutex mu;
   static std::map<std::pair<int, long>, std::vector<std::string>> cache;
-  std::lock_guard<std::mutex> g(mu);
+  ScopedLock g(mu);
   const auto key = std::make_pair(static_cast<int>(id), std::lround(scale * 1e6));
   auto it = cache.find(key);
   if (it == cache.end()) {

@@ -83,7 +83,7 @@ def cmd_env(args):
 def cmd_compare(args):
     base = load(args.baseline)
     cur = load(args.current)
-    failed = False
+    failures = []  # (metric, human-readable reason)
     for name, extract in METRICS:
         b = extract(base)
         c = extract(cur)
@@ -93,7 +93,7 @@ def cmd_compare(args):
             continue
         if c is None:
             print(f"{name}: MISSING from current run (baseline {b:.4f})")
-            failed = True
+            failures.append((name, "missing from the current run"))
             continue
         floor = args.threshold * b
         verdict = "ok" if c >= floor else "REGRESSION"
@@ -102,8 +102,19 @@ def cmd_compare(args):
             f"(floor {floor:.4f}) {verdict}"
         )
         if c < floor:
-            failed = True
-    return 1 if failed else 0
+            drop = (1.0 - c / b) * 100.0
+            limit = (1.0 - args.threshold) * 100.0
+            failures.append(
+                (name, f"dropped {drop:.1f}% vs baseline "
+                       f"(limit {limit:.1f}%: {c:.4f} < floor {floor:.4f})"))
+    if failures:
+        # One self-contained verdict line per failed metric, so the CI log
+        # tail says what regressed and by how much without reading this
+        # script or scrolling to the per-metric table above.
+        detail = "; ".join(f"{name} {reason}" for name, reason in failures)
+        print(f"bench-regress FAILED: {detail}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def main():

@@ -1,19 +1,24 @@
 #!/usr/bin/env bash
-# Tier-1 verify plus sanitizer passes: AddressSanitizer over everything and
-# ThreadSanitizer over the concurrency-sensitive tests (QSBR, the concurrent
-# Wormhole, and the sharded service), which exercise the lock-free lookup /
-# per-leaf-lock write paths.
+# Tier-1 verify plus sanitizer and static-analysis passes: AddressSanitizer
+# over everything, ThreadSanitizer over the concurrency-sensitive tests
+# (QSBR, the concurrent Wormhole, and the sharded service), UBSan over the
+# full unit suite, clang-tidy + Clang Thread Safety Analysis as the
+# compile-time complement (see README.md "Static analysis"), and the
+# repo-specific concurrency lint.
 #
 #   scripts/check.sh                  # release + full ctest, ASan, TSan,
-#                                     # bench-smoke, bench-regress, format
+#                                     # ubsan, bench-smoke, bench-regress,
+#                                     # lint, tidy, format
 #   scripts/check.sh --fast           # release unit tests only (no bench builds)
 #   scripts/check.sh --ci             # non-interactive; per-stage timing lines
 #   scripts/check.sh --stage <name>   # one stage:
-#                                     # release|asan|tsan|bench-smoke|
-#                                     # bench-regress|format|all
+#                                     # release|asan|tsan|ubsan|tidy|lint|
+#                                     # bench-smoke|bench-regress|format|all
 #
 # The CI matrix (.github/workflows/ci.yml) runs one --stage per job so the
-# three sanitizer configs build and cache independently.
+# sanitizer/analysis configs build and cache independently. `tidy` (like
+# `format`) degrades to a skip-with-notice when clang-tidy is not installed
+# locally, and hard-fails in --ci where CI installs it.
 #
 # ctest labels: "unit" (fast, deterministic) and "smoke" (multithreaded +
 # bench end-to-end runs). Filter with: ctest -L unit / ctest -L smoke.
@@ -28,7 +33,7 @@ while [[ $# -gt 0 ]]; do
     --fast) FAST=1 ;;
     --ci) CI=1 ;;
     --stage)
-      STAGE="${2:?--stage needs release|asan|tsan|bench-smoke|bench-regress|format|all}"
+      STAGE="${2:?--stage needs release|asan|tsan|ubsan|tidy|lint|bench-smoke|bench-regress|format|all}"
       shift
       ;;
     *)
@@ -95,6 +100,57 @@ run_tsan() {
   ctest --test-dir build-tsan "${CTEST_FLAGS[@]}" \
     -R 'test_(wormhole_concurrent|qsbr|service|scan_fastpath)'
   stage_end "tsan ctest"
+}
+
+run_ubsan() {
+  stage_begin "ubsan: configure + build"
+  cmake -B build-ubsan -S . -DWH_UBSAN=ON >/dev/null
+  cmake --build build-ubsan -j "$JOBS" --target "${TEST_TARGETS[@]}"
+  stage_end "ubsan build"
+  stage_begin "ubsan: ctest (full unit suite)"
+  # -fno-sanitize-recover=all (CMakeLists): any UB report aborts the test.
+  ctest --test-dir build-ubsan "${CTEST_FLAGS[@]}" -R 'test_'
+  stage_end "ubsan ctest"
+}
+
+run_tidy() {
+  stage_begin "tidy: clang thread-safety build + clang-tidy"
+  # Two analyses share the stage because both need clang: (1) a full build
+  # with clang++ verifies the Thread Safety Analysis annotations in
+  # src/common/sync.h (-Wthread-safety -Werror=thread-safety, added by
+  # CMakeLists for clang); (2) clang-tidy runs the .clang-tidy profile over
+  # every translation unit via the build's compilation database.
+  if ! command -v clang++ >/dev/null 2>&1 || ! command -v clang-tidy >/dev/null 2>&1; then
+    if [[ "$CI" == 1 ]]; then
+      echo "clang++/clang-tidy not installed but required in CI" >&2
+      exit 1
+    fi
+    echo "clang++/clang-tidy not installed; skipping tidy stage"
+    stage_end "tidy"
+    return 0
+  fi
+  cmake -B build-tidy -S . -DCMAKE_CXX_COMPILER=clang++ >/dev/null
+  cmake --build build-tidy -j "$JOBS"
+  stage_end "tidy build (thread-safety clean)"
+  stage_begin "tidy: clang-tidy over src/ tests/ bench/"
+  # .cc files only: headers are covered transitively via HeaderFilterRegex.
+  find src tests bench -name '*.cc' -print0 |
+    xargs -0 -P "$JOBS" -n 4 clang-tidy -p build-tidy --quiet
+  stage_end "tidy"
+}
+
+run_lint() {
+  stage_begin "lint: concurrency-discipline lint (scripts/lint_concurrency.py)"
+  if ! command -v python3 >/dev/null 2>&1; then
+    echo "python3 required for lint" >&2
+    exit 1
+  fi
+  python3 scripts/lint_concurrency.py
+  # The lint's own fixture suite: each rule must fire on known-bad snippets
+  # and be suppressed by waiver/allowlist. Cheap, so it rides along here as
+  # well as in release ctest.
+  python3 tests/test_lint.py
+  stage_end "lint"
 }
 
 run_bench_smoke() {
@@ -183,6 +239,9 @@ case "$STAGE" in
   release) run_release ;;
   asan) run_asan ;;
   tsan) run_tsan ;;
+  ubsan) run_ubsan ;;
+  tidy) run_tidy ;;
+  lint) run_lint ;;
   bench-smoke) run_bench_smoke ;;
   bench-regress) run_bench_regress ;;
   format) run_format ;;
@@ -193,12 +252,15 @@ case "$STAGE" in
     fi
     run_asan
     run_tsan
+    run_ubsan
     run_bench_smoke
     run_bench_regress
+    run_lint
+    run_tidy
     run_format
     ;;
   *)
-    echo "unknown stage '$STAGE' (release|asan|tsan|bench-smoke|bench-regress|format|all)" >&2
+    echo "unknown stage '$STAGE' (release|asan|tsan|ubsan|tidy|lint|bench-smoke|bench-regress|format|all)" >&2
     exit 2
     ;;
 esac

@@ -17,8 +17,8 @@ namespace {
 // the per-thread cleanup consults the registry under its mutex before
 // unregistering. Both are function-local statics first touched from a Qsbr
 // constructor, so they are destroyed after every domain, including Default().
-std::mutex& LiveDomainsMu() {
-  static std::mutex mu;
+Mutex& LiveDomainsMu() {
+  static Mutex mu;
   return mu;
 }
 
@@ -50,7 +50,7 @@ struct TlsDomains {
       // Holding the registry mutex across the liveness check and the
       // unregistration pins the domain: ~Qsbr removes the id under the same
       // mutex before tearing anything down.
-      std::lock_guard<std::mutex> g(LiveDomainsMu());
+      ScopedLock g(LiveDomainsMu());
       if (LiveDomains().count(e.id) != 0) {
         e.domain->Quiesce(e.slot);
         e.domain->UnregisterThread(e.slot);
@@ -65,18 +65,24 @@ thread_local TlsDomains tls_domains;
 }  // namespace
 
 Qsbr::Qsbr() : id_(NewDomainId()) {
-  std::lock_guard<std::mutex> g(LiveDomainsMu());
+  ScopedLock g(LiveDomainsMu());
   LiveDomains().insert(id_);
 }
 
 Qsbr::~Qsbr() {
   {
-    std::lock_guard<std::mutex> g(LiveDomainsMu());
+    ScopedLock g(LiveDomainsMu());
     LiveDomains().erase(id_);
   }
   // No threads may be inside a read-side critical section at destruction; any
   // slots still registered belong to threads that will notice the dead domain
-  // at their own exit and skip it.
+  // at their own exit and skip it. The retire lock is still taken: a laggard
+  // Retire/TryReclaim racing destruction is already undefined behavior on the
+  // domain object itself, but holding the lock here keeps the drain correct
+  // for the benign case (a TryReclaim on another thread that returns before
+  // the destructor frees anything) and satisfies the guarded_by contract —
+  // the unguarded iteration was flagged by thread-safety analysis.
+  ScopedLock g(retire_mu_);
   for (const Retired& r : retired_) {
     r.deleter(r.p);
   }
@@ -88,7 +94,7 @@ Qsbr& Qsbr::Default() {
 }
 
 Qsbr::Slot* Qsbr::RegisterThread() {
-  std::lock_guard<std::mutex> g(slots_mu_);
+  ScopedLock g(slots_mu_);
   for (size_t i = 0; i < kMaxThreads; i++) {
     Slot& s = slots_[i];
     if (s.state.load(std::memory_order_relaxed) == kFree) {
@@ -112,7 +118,7 @@ Qsbr::Slot* Qsbr::RegisterThread() {
 }
 
 void Qsbr::UnregisterThread(Slot* slot) {
-  std::lock_guard<std::mutex> g(slots_mu_);
+  ScopedLock g(slots_mu_);
   slot->state.store(kFree, std::memory_order_release);
 }
 
@@ -123,7 +129,7 @@ void Qsbr::Retire(void* p, void (*deleter)(void*)) {
   // see the unlinking stores that preceded the Retire call.
   const uint64_t tag = global_epoch_.fetch_add(1, std::memory_order_acq_rel);
   {
-    std::lock_guard<std::mutex> g(retire_mu_);
+    ScopedLock g(retire_mu_);
     retired_.push_back(Retired{p, deleter, tag});
   }
   TryReclaim();
@@ -140,7 +146,7 @@ size_t Qsbr::TryReclaim() {
     // traversal, so it can never reach an object this pass frees). Without
     // the lock, plain acquire/release ordering would permit the scan to miss
     // a just-registered thread mid-navigation.
-    std::lock_guard<std::mutex> gs(slots_mu_);
+    ScopedLock gs(slots_mu_);
     // Grace condition: every active slot has quiesced at an epoch > tag.
     uint64_t min_epoch = UINT64_MAX;
     const size_t hw = slot_high_water_.load(std::memory_order_acquire);
@@ -153,7 +159,7 @@ size_t Qsbr::TryReclaim() {
     // Concurrent retirers can interleave tags slightly out of order; stopping
     // at the first ineligible entry is merely conservative (it is freed on a
     // later pass).
-    std::lock_guard<std::mutex> gr(retire_mu_);
+    ScopedLock gr(retire_mu_);
     while (!retired_.empty() && retired_.front().tag < min_epoch) {
       batch.push_back(retired_.front());
       retired_.pop_front();
@@ -174,7 +180,7 @@ void Qsbr::Drain() {
 }
 
 size_t Qsbr::pending() const {
-  std::lock_guard<std::mutex> g(retire_mu_);
+  ScopedLock g(retire_mu_);
   return retired_.size();
 }
 
@@ -188,7 +194,7 @@ Qsbr::Slot* Qsbr::CurrentSlot() {
   // have since died, so a long-lived thread outliving many domains (e.g. a
   // test loop creating services) keeps its list — and the scan above — short.
   {
-    std::lock_guard<std::mutex> g(LiveDomainsMu());
+    ScopedLock g(LiveDomainsMu());
     auto& entries = tls_domains.entries;
     entries.erase(std::remove_if(entries.begin(), entries.end(),
                                  [](const DomainEntry& e) {
@@ -210,7 +216,7 @@ void QsbrQuiesce() {
   // quiesce-periodically loop must not pin any shard's grace period. The
   // registry mutex spans the liveness check and the store, pinning each
   // domain against concurrent destruction (same protocol as ReleaseAll).
-  std::lock_guard<std::mutex> g(LiveDomainsMu());
+  ScopedLock g(LiveDomainsMu());
   for (const DomainEntry& e : tls_domains.entries) {
     if (LiveDomains().count(e.id) != 0) {
       e.domain->Quiesce(e.slot);

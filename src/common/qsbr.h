@@ -45,7 +45,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
+
+#include "src/common/sync.h"
 
 namespace wh {
 
@@ -144,12 +145,17 @@ class Qsbr {
 
   const uint64_t id_;  // unique per instance, never reused
   std::atomic<uint64_t> global_epoch_{1};
+  // Slot fields are per-thread atomics, not guarded data: quiescence reports
+  // and the reclaim scan synchronize through them directly. slots_mu_ guards
+  // only the register/unregister transitions (and TryReclaim holds it across
+  // its scan so a registering thread cannot be missed — see qsbr.cc).
   Slot slots_[kMaxThreads];
   std::atomic<size_t> slot_high_water_{0};  // scan bound for TryReclaim
-  std::mutex slots_mu_;                     // serializes register/unregister
+  Mutex slots_mu_;                          // serializes register/unregister
 
-  mutable std::mutex retire_mu_;
-  std::deque<Retired> retired_;  // tags are near-sorted (concurrent retirers)
+  mutable Mutex retire_mu_;
+  // Tags are near-sorted (concurrent retirers may interleave slightly).
+  std::deque<Retired> retired_ GUARDED_BY(retire_mu_);
 };
 
 // Default()-instance conveniences. The calling thread is registered lazily on

@@ -144,6 +144,7 @@ struct FlatWindow {
   // slots array and slab, so on a cold leaf every slot and key would
   // otherwise be a serial miss — and the second is nothing but raw memcpy
   // into the pre-sized buffer, hitting the lines pass one warmed.
+  // hot-path: cursor window fill
   void Refill(const LeafStore& s, size_t lo, size_t hi) {
     entries.clear();
     if (lo >= hi) {
@@ -198,6 +199,7 @@ struct FlatWindow {
 // Rank of the first key > bound (strict) or >= bound, in [0, size()]. The
 // floor rank (last key < / <= bound) is this minus one, with 0 meaning "all
 // keys are above the bound" — cursors then hop to the previous leaf.
+// hot-path: cursor seek rank
 inline size_t LowerBoundRank(const LeafStore& s, std::string_view bound,
                              bool strict) {
   auto it = std::lower_bound(s.by_key.begin(), s.by_key.end(), bound,
@@ -277,6 +279,7 @@ inline void MaybeCompact(LeafStore* s) {
 // Slot id of `key`, or -1. `hash` is the precomputed full-key CRC32C raw
 // state — lookup paths extend the LPM's incremental prefix state instead of
 // rehashing the key from byte 0; ignored unless direct_pos.
+// hot-path: every point op's in-leaf search
 inline int FindSlot(const LeafStore& s, bool direct_pos, std::string_view key,
                     uint32_t hash) {
   if (direct_pos) {

@@ -45,6 +45,7 @@ struct alignas(64) BucketLine {
 // off models the Fig. 11 base configuration, where every entry pays the
 // pred (prefix comparison) instead of the 2-byte filter.
 template <typename NodeT, typename Pred>
+// hot-path: one hash probe
 NodeT* Find(const BucketLine<NodeT>* line, uint16_t tag, bool tag_matching,
             bool sorted, const Pred& pred) {
   for (; line != nullptr; line = line->next) {

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
-#include <shared_mutex>
 #include <thread>
 
 #include "src/common/bytes.h"
@@ -108,10 +107,11 @@ WormholeUnsafe::WormholeUnsafe(const Options& opt) : opt_(opt) {
 WormholeUnsafe::~WormholeUnsafe() {
   for (Leaf* l = head_; l != nullptr;) {
     Leaf* next = l->next;
-    delete l;
+    delete l;  // lint:allow(qsbr-free): single-threaded class, no readers
     l = next;
   }
   for (Bucket& b : buckets_) {
+    // lint:allow(qsbr-free): single-threaded class, no readers
     metabucket::ForEach(&b, [](uint16_t, Node* nd) { delete nd; });
     metabucket::FreeOverflow(&b);
   }
@@ -483,7 +483,7 @@ void WormholeUnsafe::RemoveLeaf(Leaf* leaf) {
       node_count_--;
       Node* parent = LookupNode(states[d - 1], std::string_view(a.data(), d - 1));
       parent->ClearChild(static_cast<uint8_t>(a[d - 1]));
-      delete n;
+      delete n;  // lint:allow(qsbr-free): WormholeUnsafe is single-threaded
     } else {
       if (d == a.size()) {
         n->has_terminal = false;
@@ -505,7 +505,7 @@ void WormholeUnsafe::RemoveLeaf(Leaf* leaf) {
   if (leaf->next != nullptr) {
     leaf->next->prev = leaf->prev;
   }
-  delete leaf;
+  delete leaf;  // lint:allow(qsbr-free): WormholeUnsafe is single-threaded
 }
 
 // --- accounting ------------------------------------------------------------
@@ -590,14 +590,16 @@ struct Wormhole::Leaf {
   const std::string anchor;
   std::atomic<Leaf*> prev{nullptr};
   std::atomic<Leaf*> next{nullptr};
-  mutable std::shared_mutex lock;
+  // Per-leaf reader-writer lock; below meta_mu_ in the hierarchy (a thread
+  // holding `lock` never acquires meta_mu_, and never a second leaf's lock).
+  mutable SharedMutex lock;
   // Bumped under the exclusive lock whenever coverage changes: +2 on a split
   // (still live, range shrank), +1 on removal. Validation today consults only
   // the parity (odd = retired ⇒ drop the leaf and retry; live-leaf shrinkage
   // is caught by the range check in Covers); the split bump keeps the counter
   // a truthful coverage-change count for future optimistic read paths.
   std::atomic<uint64_t> version{0};
-  leafops::LeafStore store;  // guarded by lock
+  leafops::LeafStore store GUARDED_BY(lock);
 
   explicit Leaf(std::string a) : anchor(std::move(a)) {}
   bool retired() const {  // callers hold lock in either mode
@@ -644,13 +646,14 @@ Wormhole::~Wormhole() {
   Table* t = table_.load(std::memory_order_acquire);
   for (auto& slot : t->buckets) {
     Bucket* b = slot.load(std::memory_order_relaxed);
+    // lint:allow(qsbr-free): destructor contract — all threads quiesced
     metabucket::ForEach(b, [](uint16_t, Node* nd) { delete nd; });
     metabucket::FreeChain(b);
   }
-  delete t;
+  delete t;  // lint:allow(qsbr-free): destructor contract — all threads quiesced
   for (Leaf* l = head_; l != nullptr;) {
     Leaf* next = l->next.load(std::memory_order_relaxed);
-    delete l;
+    delete l;  // lint:allow(qsbr-free): destructor contract — all threads quiesced
     l = next;
   }
   qsbr_->Quiesce(qsbr_->CurrentSlot());
@@ -666,12 +669,14 @@ Wormhole::~Wormhole() {
 
 // --- lock-free read path ---------------------------------------------------
 
+// hot-path: one LPM probe's line-chain walk
 Wormhole::Node* Wormhole::FindNodeInChain(const Bucket* b, uint32_t hash,
                                           std::string_view prefix) const {
   return metabucket::Find(b, TagOf(hash), opt_.tag_matching, opt_.sort_by_tag,
                           [&](const Node* nd) { return nd->prefix == prefix; });
 }
 
+// hot-path: child-descent probe
 Wormhole::Node* Wormhole::FindChildInChain(const Bucket* b, uint32_t hash,
                                            std::string_view prefix,
                                            char extra) const {
@@ -685,12 +690,14 @@ Wormhole::Node* Wormhole::FindChildInChain(const Bucket* b, uint32_t hash,
                           });
 }
 
+// hot-path: per-probe bucket dispatch
 Wormhole::Node* Wormhole::LookupNode(const Table* t, uint32_t hash,
                                      std::string_view prefix) const {
   return FindNodeInChain(
       t->buckets[hash & t->mask].load(std::memory_order_acquire), hash, prefix);
 }
 
+// hot-path: per-probe bucket dispatch
 Wormhole::Node* Wormhole::LookupChild(const Table* t, uint32_t hash,
                                       std::string_view prefix, char extra) const {
   return FindChildInChain(
@@ -698,6 +705,7 @@ Wormhole::Node* Wormhole::LookupChild(const Table* t, uint32_t hash,
       extra);
 }
 
+// hot-path: the O(log L) binary search itself
 Wormhole::Node* Wormhole::Lpm(const Table* t, std::string_view key,
                               uint32_t* state_out) const {
   size_t lo = 0;
@@ -727,6 +735,7 @@ Wormhole::Node* Wormhole::Lpm(const Table* t, std::string_view key,
   return best;
 }
 
+// hot-path: every lookup routes through here
 Wormhole::Leaf* Wormhole::RouteToLeaf(std::string_view key,
                                       uint32_t* kv_hash) const {
   if (opt_.count_probes) {
@@ -771,6 +780,7 @@ Wormhole::Leaf* Wormhole::RouteToLeaf(std::string_view key,
   return child->rmost.load(std::memory_order_acquire);
 }
 
+// hot-path: per-acquire validation
 bool Wormhole::Covers(const Leaf* leaf, std::string_view key) {
   // Caller holds leaf->lock (either mode). The version and the leaf's own
   // range only change under that lock held exclusively; a *successor's*
@@ -810,7 +820,7 @@ Wormhole::Leaf* Wormhole::AcquireLeaf(std::string_view key, Mode mode,
   }
   // Structural churn outran optimistic routing; serialize with the writers —
   // under meta_mu_ the trie is stable, so the route is exact.
-  std::lock_guard<std::mutex> g(meta_mu_);
+  ScopedLock g(meta_mu_);
   Leaf* leaf = RouteToLeaf(key, kv_hash);
   assert(leaf != nullptr);
   if (mode == Mode::kShared) {
@@ -828,6 +838,7 @@ bool Wormhole::Get(std::string_view key, std::string* value) {
   QsbrOp op(qsbr_);
   uint32_t h;
   Leaf* leaf = AcquireLeaf(key, Mode::kShared, &h);
+  leaf->lock.AssertReaderHeld();  // handed over by AcquireLeaf (NO_TSA)
   const int slot = leafops::FindSlot(leaf->store, opt_.direct_pos, key, h);
   const bool found = slot >= 0;
   if (found && value != nullptr) {
@@ -1089,6 +1100,7 @@ void Wormhole::Put(std::string_view key, std::string_view value) {
   QsbrOp op(qsbr_);
   uint32_t h;
   Leaf* leaf = AcquireLeaf(key, Mode::kExclusive, &h);
+  leaf->lock.AssertHeld();  // handed over by AcquireLeaf (NO_TSA)
   const int slot = leafops::FindSlot(leaf->store, opt_.direct_pos, key, h);
   if (slot >= 0) {
     leafops::UpdateValue(&leaf->store, static_cast<uint16_t>(slot), value);
@@ -1106,7 +1118,7 @@ void Wormhole::Put(std::string_view key, std::string_view value) {
 }
 
 void Wormhole::PutSlow(std::string_view key, std::string_view value) {
-  std::lock_guard<std::mutex> g(meta_mu_);
+  ScopedLock g(meta_mu_);
   // Re-resolve the leaf: between the fast path dropping its lock and this
   // point, a concurrent writer may have split (or emptied and removed) the
   // leaf the fast path saw, so the cached pointer must not be trusted.
@@ -1125,13 +1137,15 @@ void Wormhole::PutSlow(std::string_view key, std::string_view value) {
     leaf->lock.unlock();
     return;
   }
-  SplitAndInsert(leaf, key, value, h);  // releases the leaf lock
+  SplitAndInsert(leaf, key, value, h);
+  leaf->lock.unlock();  // `leaf` is the split's left half, still covered
 }
 
 bool Wormhole::Delete(std::string_view key) {
   QsbrOp op(qsbr_);
   uint32_t h;
   Leaf* leaf = AcquireLeaf(key, Mode::kExclusive, &h);
+  leaf->lock.AssertHeld();  // handed over by AcquireLeaf (NO_TSA)
   const int slot = leafops::FindSlot(leaf->store, opt_.direct_pos, key, h);
   if (slot < 0) {
     leaf->lock.unlock();
@@ -1149,7 +1163,7 @@ bool Wormhole::Delete(std::string_view key) {
 }
 
 bool Wormhole::DeleteSlow(std::string_view key) {
-  std::lock_guard<std::mutex> g(meta_mu_);
+  ScopedLock g(meta_mu_);
   uint32_t h;
   Leaf* leaf = RouteToLeaf(key, &h);  // re-resolve, as in PutSlow
   leaf->lock.lock();
@@ -1284,7 +1298,7 @@ class Wormhole::CursorImpl final : public Cursor {
   // caller drains this window. Header only — unlike the single-threaded
   // cursor we must not peek into a neighbor's store vectors without its
   // lock, that would race with a writer mid-mutation.
-  void FillForward(Leaf* leaf, size_t lo) {
+  void FillForward(Leaf* leaf, size_t lo) RELEASE_SHARED(leaf->lock) {
     const leafops::LeafStore& s = leaf->store;
     const size_t budget = Budget();
     const size_t hi =
@@ -1299,7 +1313,7 @@ class Wormhole::CursorImpl final : public Cursor {
   }
 
   // Mirror: ranks [max(above - hint, 0), above), prefetching the prev leaf.
-  void FillBackward(Leaf* leaf, size_t above) {
+  void FillBackward(Leaf* leaf, size_t above) RELEASE_SHARED(leaf->lock) {
     const leafops::LeafStore& s = leaf->store;
     const size_t budget = Budget();
     const size_t lo = (budget == 0 || above <= budget) ? 0 : above - budget;
@@ -1319,6 +1333,7 @@ class Wormhole::CursorImpl final : public Cursor {
     for (;;) {
       uint32_t h;
       Leaf* leaf = wh_->AcquireLeaf(bound_, Mode::kShared, &h);
+      leaf->lock.AssertReaderHeld();  // handed over by AcquireLeaf (NO_TSA)
       FillForward(leaf, leafops::LowerBoundRank(leaf->store, bound_, strict_));
       if (win_.size() > 0) {
         pos_ = 0;
@@ -1338,6 +1353,7 @@ class Wormhole::CursorImpl final : public Cursor {
     for (;;) {
       uint32_t h;
       Leaf* leaf = wh_->AcquireLeaf(bound_, Mode::kShared, &h);
+      leaf->lock.AssertReaderHeld();  // handed over by AcquireLeaf (NO_TSA)
       FillBackward(leaf,
                    leafops::LowerBoundRank(leaf->store, bound_, !strict_));
       if (win_.size() > 0) {
@@ -1602,7 +1618,7 @@ void Wormhole::InsertAnchor(const std::string& anchor, Leaf* leaf) {
 void Wormhole::SplitAndInsert(Leaf* left, std::string_view key,
                               std::string_view value, uint32_t kv_hash) {
   // Preconditions: meta_mu_ and left->lock (exclusive) held; left is full and
-  // does not contain key.
+  // does not contain key. The caller releases left->lock after this returns.
   const size_t n = left->store.size();
   assert(n >= 2);
   (void)n;
@@ -1637,7 +1653,6 @@ void Wormhole::SplitAndInsert(Leaf* left, std::string_view key,
 
   InsertAnchor(right->anchor, right);
   MaybeGrowTable();
-  left->lock.unlock();
 }
 
 void Wormhole::RemoveLeafLocked(Leaf* leaf) {
@@ -1696,10 +1711,10 @@ void Wormhole::RemoveLeafLocked(Leaf* leaf) {
 // --- accounting ------------------------------------------------------------
 
 uint64_t Wormhole::MemoryBytes() const {
-  std::lock_guard<std::mutex> g(meta_mu_);  // structure is stable underneath
+  ScopedLock g(meta_mu_);  // structure is stable underneath
   uint64_t total = sizeof(*this);
   for (Leaf* l = head_; l != nullptr; l = l->next.load(std::memory_order_relaxed)) {
-    std::shared_lock<std::shared_mutex> lk(l->lock);
+    ScopedReadLock lk(l->lock);
     total += sizeof(Leaf) + StrHeapBytes(l->anchor);
     total += leafops::MemoryBytes(l->store, opt_.direct_pos);
   }

@@ -109,7 +109,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -117,6 +116,7 @@
 
 #include "src/common/cursor.h"
 #include "src/common/qsbr.h"
+#include "src/common/sync.h"
 #include "src/common/scan.h"
 #include "src/core/leaf_ops.h"
 #include "src/core/meta_bucket.h"
@@ -236,12 +236,16 @@ class Wormhole {
   Wormhole(const Wormhole&) = delete;
   Wormhole& operator=(const Wormhole&) = delete;
 
-  bool Get(std::string_view key, std::string* value);
-  void Put(std::string_view key, std::string_view value);
-  bool Delete(std::string_view key);
+  // The EXCLUDES(meta_mu_) on the public API is the threading contract: the
+  // caller must not hold the structural mutex (each operation may acquire it
+  // itself on the slow path — stale-route fallback, splits, merges).
+  bool Get(std::string_view key, std::string* value) EXCLUDES(meta_mu_);
+  void Put(std::string_view key, std::string_view value) EXCLUDES(meta_mu_);
+  bool Delete(std::string_view key) EXCLUDES(meta_mu_);
   // Wrapper over NewCursor: per-leaf snapshot semantics, fn runs with no
   // leaf lock held (see the cursor section of the header comment).
-  size_t Scan(std::string_view start, size_t count, const ScanFn& fn);
+  size_t Scan(std::string_view start, size_t count, const ScanFn& fn)
+      EXCLUDES(meta_mu_);
   // Epoch-pinned bidirectional cursor, safe under concurrent writers (the
   // protocol is described in the header comment; the contract in cursor.h).
   // SetScanLimitHint(n) on the returned cursor engages the bounded fill mode
@@ -260,16 +264,23 @@ class Wormhole {
   // serial loop would pay back-to-back. Consecutive keys that land in the
   // same leaf still reuse the held leaf lock (sorted batches maximize the
   // reuse). Returns the hit count.
+  // NO_TSA: the pipeline reuses one held leaf lock across loop iterations
+  // (acquired for key i, released when key j routes elsewhere) — loop-carried
+  // lock state TSA cannot track. The protocol mirrors Get exactly and is
+  // exercised by the TSan stage.
   size_t MultiGet(const std::vector<std::string_view>& keys,
-                  std::vector<std::string>* values, std::vector<uint8_t>* hits);
+                  std::vector<std::string>* values, std::vector<uint8_t>* hits)
+      EXCLUDES(meta_mu_) NO_THREAD_SAFETY_ANALYSIS;
 
   // Batched Put with the same amortization: one quiescent-state report for
   // the batch, and consecutive keys hitting the same leaf reuse the held
   // exclusive lock (a Put that needs a split falls back to the slow path).
+  // NO_TSA: same loop-carried held-lock reuse as MultiGet, exclusive mode.
   void MultiPut(
-      const std::vector<std::pair<std::string_view, std::string_view>>& items);
+      const std::vector<std::pair<std::string_view, std::string_view>>& items)
+      EXCLUDES(meta_mu_) NO_THREAD_SAFETY_ANALYSIS;
 
-  uint64_t MemoryBytes() const;
+  uint64_t MemoryBytes() const EXCLUDES(meta_mu_);
   size_t size() const { return item_count_.load(std::memory_order_relaxed); }
   WormholeStats stats() const;
   const Options& options() const { return opt_; }
@@ -302,19 +313,34 @@ class Wormhole {
   // Route + lock + validate, retrying on concurrent splits/merges; falls back
   // to serializing with structural writers after bounded retries. Returns the
   // leaf with its lock held in `mode` and fills *kv_hash as RouteToLeaf does.
-  Leaf* AcquireLeaf(std::string_view key, Mode mode, uint32_t* kv_hash);
+  // NO_TSA: which leaf lock is taken is data-dependent (the routed leaf), and
+  // the function returns with it held — a transfer TSA cannot express.
+  // Callers immediately re-assert the held lock (AssertHeld/AssertReaderHeld)
+  // so analysis resumes on their side; TSan covers the waived path.
+  Leaf* AcquireLeaf(std::string_view key, Mode mode, uint32_t* kv_hash)
+      NO_THREAD_SAFETY_ANALYSIS;
   static bool Covers(const Leaf* leaf, std::string_view key);
 
-  // Structural writers (meta_mu_ held).
-  void InsertEntry(uint32_t hash, Node* node);
-  void RemoveEntry(uint32_t hash, Node* node);
-  void MaybeGrowTable();
-  void InsertAnchor(const std::string& anchor, Leaf* leaf);
+  // Structural writers: REQUIRES(meta_mu_) — only the *Slow paths (which
+  // acquire it) and the destructor reach these.
+  void InsertEntry(uint32_t hash, Node* node) REQUIRES(meta_mu_);
+  void RemoveEntry(uint32_t hash, Node* node) REQUIRES(meta_mu_);
+  void MaybeGrowTable() REQUIRES(meta_mu_);
+  void InsertAnchor(const std::string& anchor, Leaf* leaf) REQUIRES(meta_mu_);
+  // NO_TSA: also requires leaf->lock held exclusive on entry (inexpressible
+  // on this declaration: Leaf is incomplete here), and the body initializes
+  // the new right leaf's store before publication, i.e. before any lock on it
+  // exists. The caller keeps holding leaf->lock across the call and releases
+  // it afterwards; meta_mu_ is still enforced at call sites.
   void SplitAndInsert(Leaf* leaf, std::string_view key, std::string_view value,
-                      uint32_t kv_hash);
-  void RemoveLeafLocked(Leaf* leaf);
-  void PutSlow(std::string_view key, std::string_view value);
-  bool DeleteSlow(std::string_view key);
+                      uint32_t kv_hash) REQUIRES(meta_mu_)
+      NO_THREAD_SAFETY_ANALYSIS;
+  // NO_TSA: same caller-held leaf->lock precondition as SplitAndInsert.
+  void RemoveLeafLocked(Leaf* leaf) REQUIRES(meta_mu_)
+      NO_THREAD_SAFETY_ANALYSIS;
+  void PutSlow(std::string_view key, std::string_view value)
+      EXCLUDES(meta_mu_);
+  bool DeleteSlow(std::string_view key) EXCLUDES(meta_mu_);
 
   Options opt_;
   Qsbr* qsbr_;  // reclamation domain; not owned
@@ -322,11 +348,12 @@ class Wormhole {
   Node* root_ = nullptr;  // never removed (anchor "" always exists)
   Leaf* head_ = nullptr;  // never removed
   std::atomic<size_t> max_anchor_len_{0};
-  size_t node_count_ = 0;  // guarded by meta_mu_
   // Serializes splits, merges and table growth (rare: O(1/leaf_capacity) of
   // writes). Lookups and in-leaf writes never touch it outside the bounded
-  // retry fallback.
-  mutable std::mutex meta_mu_;
+  // retry fallback. Top of the lock hierarchy: meta_mu_ > Leaf::lock (a
+  // thread holding a leaf lock never acquires meta_mu_).
+  mutable Mutex meta_mu_;
+  size_t node_count_ GUARDED_BY(meta_mu_) = 0;
   std::atomic<size_t> item_count_{0};
   mutable std::atomic<uint64_t> probes_{0};
   mutable std::atomic<uint64_t> lookups_{0};

@@ -1,13 +1,11 @@
 #include "src/masstree/masstree.h"
 
-#include <mutex>
-
 #include "src/common/bytes.h"
 
 namespace wh {
 
 bool Masstree::Get(std::string_view key, std::string* value) {
-  std::shared_lock<std::shared_mutex> g(mu_);
+  ScopedReadLock g(mu_);
   const Layer* layer = &root_;
   std::string_view rest = key;
   while (true) {
@@ -31,7 +29,7 @@ bool Masstree::Get(std::string_view key, std::string* value) {
 }
 
 void Masstree::Put(std::string_view key, std::string_view value) {
-  std::unique_lock<std::shared_mutex> g(mu_);
+  ScopedWriteLock g(mu_);
   Layer* layer = &root_;
   std::string_view rest = key;
   while (rest.size() > kSliceLen) {
@@ -77,7 +75,7 @@ bool Masstree::DeleteRec(Layer* layer, std::string_view rest) {
 }
 
 bool Masstree::Delete(std::string_view key) {
-  std::unique_lock<std::shared_mutex> g(mu_);
+  ScopedWriteLock g(mu_);
   return DeleteRec(&root_, key);
 }
 
@@ -216,7 +214,7 @@ class Masstree::CursorImpl : public Cursor {
   void Position(std::string_view target, bool backward, bool strict) {
     const std::string bound(target);  // target may alias key_
     std::string found;
-    std::shared_lock<std::shared_mutex> g(tree_->mu_);
+    ScopedReadLock g(tree_->mu_);
     valid_ = backward
                  ? FloorLayer(&tree_->root_, bound, strict, &found, &value_)
                  : CeilLayer(&tree_->root_, bound, strict, &found, &value_);
@@ -254,7 +252,7 @@ uint64_t Masstree::LayerBytes(const Layer* layer) {
 }
 
 uint64_t Masstree::MemoryBytes() const {
-  std::shared_lock<std::shared_mutex> g(mu_);
+  ScopedReadLock g(mu_);
   return sizeof(*this) + LayerBytes(&root_);
 }
 

@@ -12,12 +12,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 
 #include "src/common/cursor.h"
 #include "src/common/scan.h"
+#include "src/common/sync.h"
 
 namespace wh {
 
@@ -27,16 +27,17 @@ class Masstree {
   Masstree(const Masstree&) = delete;
   Masstree& operator=(const Masstree&) = delete;
 
-  bool Get(std::string_view key, std::string* value);
-  void Put(std::string_view key, std::string_view value);
-  bool Delete(std::string_view key);
-  size_t Scan(std::string_view start, size_t count, const ScanFn& fn);
+  bool Get(std::string_view key, std::string* value) EXCLUDES(mu_);
+  void Put(std::string_view key, std::string_view value) EXCLUDES(mu_);
+  bool Delete(std::string_view key) EXCLUDES(mu_);
+  size_t Scan(std::string_view start, size_t count, const ScanFn& fn)
+      EXCLUDES(mu_);
   // Every cursor call is one successor/predecessor descent through the layers
   // under its own shared lock, so cursors stay usable under concurrent
   // writers (each step observes the tree at that instant; the copied current
   // key/value never dangle).
   std::unique_ptr<Cursor> NewCursor();
-  uint64_t MemoryBytes() const;
+  uint64_t MemoryBytes() const EXCLUDES(mu_);
 
  private:
   static constexpr size_t kSliceLen = 8;
@@ -68,8 +69,11 @@ class Masstree {
   static bool MaxKey(const Layer* layer, std::string* acc, std::string* value);
   static uint64_t LayerBytes(const Layer* layer);
 
-  Layer root_;
-  mutable std::shared_mutex mu_;
+  mutable SharedMutex mu_;
+  // The whole trie hangs off root_: the static layer helpers walk it through
+  // plain Layer pointers, so the lock discipline is "mu_ spans every call
+  // that touches any layer", enforced at these entry points.
+  Layer root_ GUARDED_BY(mu_);
 };
 
 }  // namespace wh

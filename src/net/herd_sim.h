@@ -15,10 +15,11 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "src/common/sync.h"
 
 namespace wh {
 
@@ -44,7 +45,7 @@ class SerialLink {
                                       bytes_per_sec_));
     Clock::time_point wait_until;
     {
-      std::lock_guard<std::mutex> g(mu_);
+      ScopedLock g(mu_);
       const auto now = Clock::now();
       if (link_free_at_ < now) {
         link_free_at_ = now;  // idle link: no queueing delay accrued
@@ -59,8 +60,8 @@ class SerialLink {
   using Clock = std::chrono::steady_clock;
 
   double bytes_per_sec_;
-  std::mutex mu_;
-  Clock::time_point link_free_at_;
+  Mutex mu_;
+  Clock::time_point link_free_at_ GUARDED_BY(mu_);
 };
 
 template <typename Index>

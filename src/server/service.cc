@@ -20,6 +20,9 @@ Service::~Service() = default;
 
 void Service::Execute(const std::vector<Request>& batch,
                       std::vector<Response>* responses) {
+  // Uncontended in today's fixed-topology service; pins the shard set for
+  // the whole batch once live resharding takes the exclusive side.
+  ScopedReadLock topo(topo_mu_);
   responses->clear();
   responses->resize(batch.size());
 
@@ -172,6 +175,7 @@ void Service::ExecuteScan(size_t first_shard, const Request& req,
 }
 
 size_t Service::size() const {
+  ScopedReadLock topo(topo_mu_);
   size_t total = 0;
   for (const Shard& s : shards_) {
     total += s.index->size();
@@ -180,6 +184,7 @@ size_t Service::size() const {
 }
 
 uint64_t Service::MemoryBytes() const {
+  ScopedReadLock topo(topo_mu_);
   uint64_t total = sizeof(*this);
   for (const Shard& s : shards_) {
     total += sizeof(Shard) + sizeof(Qsbr) + s.index->MemoryBytes();

@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "src/common/qsbr.h"
+#include "src/common/sync.h"
 #include "src/core/wormhole.h"
 #include "src/server/shard_router.h"
 
@@ -90,16 +91,20 @@ class Service {
   Service& operator=(const Service&) = delete;
 
   // Executes one batch; *responses is resized to batch.size() and
-  // responses[i] answers batch[i].
+  // responses[i] answers batch[i]. EXCLUDES(topo_mu_) is the annotated form
+  // of the threading contract above: any number of client threads may call
+  // concurrently (each takes topo_mu_ shared itself), but never from a
+  // context already holding the topology lock.
   void Execute(const std::vector<Request>& batch,
-               std::vector<Response>* responses);
+               std::vector<Response>* responses) EXCLUDES(topo_mu_);
 
-  size_t shard_count() const { return shards_.size(); }
+  // Equal to shards_.size() by construction, without touching guarded state.
+  size_t shard_count() const { return router_.shard_count(); }
   const ShardRouter& router() const { return router_; }
 
   // Total item count / footprint across shards (not atomic across them).
-  size_t size() const;
-  uint64_t MemoryBytes() const;
+  size_t size() const EXCLUDES(topo_mu_);
+  uint64_t MemoryBytes() const EXCLUDES(topo_mu_);
 
  private:
   // qsbr must outlive index: the Wormhole destructor drains into its domain.
@@ -112,10 +117,17 @@ class Service {
   // cursor for shard s once any scan in the batch has touched it (empty
   // until the batch's first scan resizes it).
   void ExecuteScan(size_t first_shard, const Request& req, Response* resp,
-                   std::vector<std::unique_ptr<Cursor>>* cursors);
+                   std::vector<std::unique_ptr<Cursor>>* cursors)
+      REQUIRES_SHARED(topo_mu_);
 
-  ShardRouter router_;
-  std::vector<Shard> shards_;
+  ShardRouter router_;  // immutable after construction (see shard_router.h)
+  // Guards the shard topology (the vector itself, not the Wormholes behind
+  // it — each shard index has its own internal synchronization). Today the
+  // topology is fixed after construction, so the shared side is uncontended
+  // and effectively free; the exclusive side is the hook ROADMAP's live
+  // resharding will take to swap shard sets under running Executes.
+  mutable SharedMutex topo_mu_;
+  std::vector<Shard> shards_ GUARDED_BY(topo_mu_);
 };
 
 }  // namespace wh

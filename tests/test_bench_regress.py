@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Fixture tests for scripts/bench_regress.py `env` and `compare`.
+
+Builds tiny snapshot JSONs in a tempdir and asserts on exit codes and the
+failure verdict line — in particular that a regression names WHICH metric
+dropped and BY HOW MUCH relative to the threshold, so a red CI log tail is
+self-explanatory. Pure stdlib; registered as ctest `test_bench_regress`.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SCRIPT = os.path.join(REPO, "scripts", "bench_regress.py")
+
+FAILURES = []
+
+
+def check(name, cond, detail=""):
+    if cond:
+        print(f"  ok: {name}")
+    else:
+        print(f"  FAIL: {name} {detail}")
+        FAILURES.append(name)
+
+
+def snapshot(ycsb_e=None, fwd100=None, scale=1000, threads=4, seconds=1):
+    """Build a snapshot dict in the shape bench_snapshot.sh emits. Either
+    metric can be omitted to simulate an old/partial snapshot."""
+    benches = []
+    if ycsb_e is not None:
+        benches.append({
+            "bench": "service_mixed",
+            "sections": [{
+                "title": "ops/sec by shard count",
+                "cols": ["shards", "YCSB-C", "YCSB-E"],
+                "rows": [
+                    {"label": "1", "values": [1, 5.0, ycsb_e]},
+                    {"label": "4", "values": [4, 9.0, ycsb_e]},
+                ],
+            }],
+        })
+    if fwd100 is not None:
+        benches.append({
+            "bench": "fig18_range",
+            "sections": [{
+                "title": "forward scan 100 (Mops)",
+                "cols": ["az", "url"],
+                "rows": [
+                    {"label": "Wormhole", "values": [fwd100, fwd100]},
+                    {"label": "Masstree", "values": [0.1, 0.1]},
+                ],
+            }],
+        })
+    return {"scale": scale, "threads": threads, "seconds": seconds,
+            "benches": benches}
+
+
+def write(root, name, snap):
+    path = os.path.join(root, name)
+    with open(path, "w") as f:
+        json.dump(snap, f)
+    return path
+
+
+def run(*argv):
+    proc = subprocess.run([sys.executable, SCRIPT, *argv],
+                          capture_output=True, text=True)
+    return proc.returncode, proc.stdout, proc.stderr
+
+
+with tempfile.TemporaryDirectory() as root:
+    base = write(root, "base.json", snapshot(ycsb_e=10.0, fwd100=2.0,
+                                             scale=5000, threads=8, seconds=3))
+
+    print("[env]")
+    code, out, err = run("env", base)
+    check("env exits 0", code == 0, f"(exit {code}, stderr {err!r})")
+    check("env prints scale/threads/seconds", out.strip() == "5000 8 3",
+          f"(got {out.strip()!r})")
+
+    print("[compare ok]")
+    cur = write(root, "cur_ok.json", snapshot(ycsb_e=9.0, fwd100=1.9))
+    code, out, err = run("compare", base, cur)
+    check("within threshold exits 0", code == 0,
+          f"(exit {code}, out {out!r}, err {err!r})")
+    check("no FAILED line on success", "bench-regress FAILED" not in err,
+          f"(stderr {err!r})")
+
+    print("[compare regression]")
+    # YCSB-E halves (50% drop, limit 30%); fig18 stays healthy.
+    cur = write(root, "cur_bad.json", snapshot(ycsb_e=5.0, fwd100=2.0))
+    code, out, err = run("compare", base, cur)
+    check("regression exits 1", code == 1, f"(exit {code})")
+    check("verdict names the metric", "bench-regress FAILED" in err
+          and "service-ycsb-e" in err, f"(stderr {err!r})")
+    check("verdict quantifies the drop", "dropped 50.0%" in err
+          and "limit 30.0%" in err, f"(stderr {err!r})")
+    check("healthy metric not in verdict", "fig18-fwd-100" not in err,
+          f"(stderr {err!r})")
+
+    print("[compare both regress]")
+    cur = write(root, "cur_bad2.json", snapshot(ycsb_e=1.0, fwd100=0.5))
+    code, out, err = run("compare", base, cur)
+    check("both metrics listed", code == 1 and "service-ycsb-e" in err
+          and "fig18-fwd-100" in err, f"(exit {code}, stderr {err!r})")
+
+    print("[compare missing metric]")
+    cur = write(root, "cur_missing.json", snapshot(ycsb_e=9.5, fwd100=None))
+    code, out, err = run("compare", base, cur)
+    check("missing metric exits 1", code == 1, f"(exit {code})")
+    check("verdict says missing", "fig18-fwd-100 missing from the current run"
+          in err, f"(stderr {err!r})")
+
+    print("[compare sparse baseline]")
+    # A baseline that predates a bench can't gate it: skip, don't fail.
+    sparse = write(root, "base_sparse.json", snapshot(ycsb_e=10.0, fwd100=None))
+    cur = write(root, "cur_sparse.json", snapshot(ycsb_e=9.5, fwd100=2.0))
+    code, out, err = run("compare", sparse, cur)
+    check("baseline gap is skipped", code == 0
+          and "fig18-fwd-100: baseline has no value" in out,
+          f"(exit {code}, out {out!r}, err {err!r})")
+
+    print("[compare custom threshold]")
+    # 10% drop passes the default 0.7 gate but fails --threshold 0.95.
+    cur = write(root, "cur_tight.json", snapshot(ycsb_e=9.0, fwd100=2.0))
+    code, out, err = run("compare", base, cur, "--threshold", "0.95")
+    check("tight threshold catches 10% drop", code == 1
+          and "limit 5.0%" in err, f"(exit {code}, stderr {err!r})")
+
+print()
+if FAILURES:
+    print(f"test_bench_regress: {len(FAILURES)} FAILED: {', '.join(FAILURES)}")
+    sys.exit(1)
+print("test_bench_regress: all cases passed")

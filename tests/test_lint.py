@@ -1,0 +1,300 @@
+#!/usr/bin/env python3
+"""Fixture tests for scripts/lint_concurrency.py: every rule must FIRE on a
+known-bad snippet and be SUPPRESSED by an inline waiver and by the allowlist.
+
+Each case builds a throwaway tree (tempdir with src/core etc.), runs the lint
+as a subprocess against it with --root/--allowlist, and asserts on exit code
+and the reported rule/line. Pure stdlib; registered as ctest `test_lint` and
+also run by the check.sh `lint` stage.
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+LINT = os.path.join(REPO, "scripts", "lint_concurrency.py")
+
+FAILURES = []
+
+
+def run_lint(root, allowlist_lines=None):
+    allowlist = os.path.join(root, "allow.txt")
+    with open(allowlist, "w") as f:
+        f.write("\n".join(allowlist_lines or []) + "\n")
+    proc = subprocess.run(
+        [sys.executable, LINT, "--root", root, "--allowlist", allowlist],
+        capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def write_tree(root, relpath, content):
+    path = os.path.join(root, relpath)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as f:
+        f.write(content)
+
+
+def check(name, cond, detail=""):
+    if cond:
+        print(f"  ok: {name}")
+    else:
+        print(f"  FAIL: {name} {detail}")
+        FAILURES.append(name)
+
+
+def case(title):
+    print(f"[{title}]")
+
+
+def expect_fires(title, relpath, content, rule, allowlist_lines=None):
+    with tempfile.TemporaryDirectory() as root:
+        write_tree(root, relpath, content)
+        code, out = run_lint(root, allowlist_lines)
+        check(f"{title} fires", code == 1 and f"[{rule}]" in out,
+              f"(exit {code}, output: {out.strip()!r})")
+
+
+def expect_clean(title, relpath, content, allowlist_lines=None):
+    with tempfile.TemporaryDirectory() as root:
+        write_tree(root, relpath, content)
+        code, out = run_lint(root, allowlist_lines)
+        check(f"{title} clean", code == 0,
+              f"(exit {code}, output: {out.strip()!r})")
+
+
+# --- atomic-order -----------------------------------------------------------
+
+case("atomic-order")
+
+BAD_ATOMIC = """#include <atomic>
+std::atomic<int> counter{0};
+int f() { return counter.load(); }
+"""
+expect_fires("implicit load", "src/x.cc", BAD_ATOMIC, "atomic-order")
+
+expect_clean("explicit load", "src/x.cc", """#include <atomic>
+std::atomic<int> counter{0};
+int f() { return counter.load(std::memory_order_relaxed); }
+""")
+
+expect_fires("implicit store", "src/x.cc", """#include <atomic>
+std::atomic<int> counter{0};
+void f() { counter.store(1); }
+""", "atomic-order")
+
+expect_fires("implicit fetch_add", "src/x.cc", """#include <atomic>
+std::atomic<int> counter{0};
+void f() { counter.fetch_add(1); }
+""", "atomic-order")
+
+expect_fires("operator++ on declared atomic", "src/x.cc", """#include <atomic>
+std::atomic<int> counter{0};
+void f() { counter++; }
+""", "atomic-order")
+
+expect_fires("operator= on declared atomic", "src/x.cc", """#include <atomic>
+std::atomic<int> counter{0};
+void f() { counter = 7; }
+""", "atomic-order")
+
+expect_clean("multi-line args with order", "src/x.cc", """#include <atomic>
+std::atomic<int> counter{0};
+void f() {
+  counter.store(42,
+                std::memory_order_release);
+}
+""")
+
+expect_clean("ambiguous name skipped", "src/x.cc", """#include <atomic>
+std::atomic<int> counter{0};
+void f() {
+  int counter = 0;  // shadowing plain decl makes the name ambiguous
+  counter = 7;
+}
+""")
+
+expect_clean("outside src/ not scanned", "bench/x.cc", BAD_ATOMIC)
+
+expect_clean("call in comment ignored", "src/x.cc", """#include <atomic>
+std::atomic<int> counter{0};
+// counter.load() would be implicit seq_cst
+int f() { return counter.load(std::memory_order_acquire); }
+""")
+
+expect_clean("inline waiver", "src/x.cc", """#include <atomic>
+std::atomic<int> counter{0};
+// lint:allow(atomic-order): fixture demonstrating the waiver syntax
+int f() { return counter.load(); }
+""")
+
+expect_fires("waiver without reason still fires", "src/x.cc",
+             """#include <atomic>
+std::atomic<int> counter{0};
+// lint:allow(atomic-order):
+int f() { return counter.load(); }
+""", "atomic-order")
+
+expect_clean("allowlist", "src/x.cc", BAD_ATOMIC,
+             ["atomic-order|src/x.cc|counter.load()"])
+
+expect_fires("allowlist for other rule does not suppress", "src/x.cc",
+             BAD_ATOMIC, "atomic-order",
+             ["qsbr-free|src/x.cc|counter.load()"])
+
+# --- qsbr-free --------------------------------------------------------------
+
+case("qsbr-free")
+
+BAD_DELETE = """struct Leaf { int x; };
+void f(Leaf* l) { delete l; }
+"""
+expect_fires("delete in src/core", "src/core/x.cc", BAD_DELETE, "qsbr-free")
+
+expect_fires("free() in src/core", "src/core/x.cc", """#include <cstdlib>
+void f(void* p) { free(p); }
+""", "qsbr-free")
+
+expect_clean("delete outside src/core", "src/common/x.cc", BAD_DELETE)
+
+expect_clean("retire instead of delete", "src/core/x.cc", """struct Leaf {};
+struct Q { void Retire(Leaf*); };
+void f(Q* q, Leaf* l) { q->Retire(l); }
+""")
+
+expect_clean("deleted special member not flagged", "src/core/x.cc",
+             """struct Leaf {
+  Leaf(const Leaf&) = delete;
+  Leaf& operator=(const Leaf&) = delete;
+};
+""")
+
+expect_clean("inline waiver", "src/core/x.cc", """struct Leaf { int x; };
+void f(Leaf* l) {
+  delete l;  // lint:allow(qsbr-free): fixture — pre-publication teardown
+}
+""")
+
+expect_clean("waiver on the preceding line", "src/core/x.cc",
+             """struct Leaf { int x; };
+void f(Leaf* l) {
+  // lint:allow(qsbr-free): fixture — pre-publication teardown
+  delete l;
+}
+""")
+
+expect_clean("allowlist", "src/core/x.cc", BAD_DELETE,
+             ["qsbr-free|src/core/x.cc|delete l"])
+
+expect_fires("allowlist path mismatch does not suppress", "src/core/x.cc",
+             BAD_DELETE, "qsbr-free", ["qsbr-free|src/other.cc|delete l"])
+
+# --- raw-mutex --------------------------------------------------------------
+
+case("raw-mutex")
+
+BAD_MUTEX = """#include <mutex>
+std::mutex mu;
+"""
+expect_fires("std::mutex decl", "src/x.cc", BAD_MUTEX, "raw-mutex")
+expect_fires("std::shared_mutex decl", "src/x.h", """#include <shared_mutex>
+class C { std::shared_mutex mu_; };
+""", "raw-mutex")
+expect_fires("std::lock_guard", "src/x.cc", """#include <mutex>
+void f() { static std::mutex m; std::lock_guard<std::mutex> g(m); }
+""", "raw-mutex")
+expect_fires("raw mutex in tests/ too", "tests/x.cc", BAD_MUTEX, "raw-mutex")
+expect_fires("raw mutex in bench/ too", "bench/x.cc", BAD_MUTEX, "raw-mutex")
+
+expect_clean("wrapper types are fine", "src/x.cc", """#include "src/common/sync.h"
+wh::Mutex mu;
+void f() { wh::ScopedLock g(mu); }
+""")
+
+expect_clean("mention in comment is fine", "src/x.cc",
+             "// an earlier revision used one global std::shared_mutex\n")
+
+expect_clean("sync.h itself is exempt", "src/common/sync.h", BAD_MUTEX)
+
+expect_clean("inline waiver", "src/x.cc", """#include <mutex>
+std::mutex mu;  // lint:allow(raw-mutex): fixture
+""")
+
+# --- hot-path-string --------------------------------------------------------
+
+case("hot-path-string")
+
+expect_fires("string construction in hot-path fn", "src/x.cc", """// hot-path
+int f() {
+  std::string s("boom");
+  return s.size();
+}
+""", "hot-path-string")
+
+expect_fires("std::to_string in hot-path fn", "src/x.cc", """// hot-path: count
+int f(int x) { return std::to_string(x).size(); }
+""", "hot-path-string")
+
+expect_clean("string_view is fine", "src/x.cc", """// hot-path
+int f(std::string_view key) { return key.size(); }
+""")
+
+expect_clean("const string& is fine", "src/x.cc", """// hot-path
+int f(const std::string& key) { return key.size(); }
+""")
+
+expect_clean("string after the hot function", "src/x.cc", """// hot-path
+int f(int x) { return x; }
+
+std::string g() { return std::string("fine here"); }
+""")
+
+expect_clean("unmarked function unrestricted", "src/x.cc", """
+std::string f() { return std::string("fine"); }
+""")
+
+expect_clean("inline waiver", "src/x.cc", """// hot-path
+int f() {
+  // lint:allow(hot-path-string): fixture — cold error branch
+  std::string s("rare");
+  return s.size();
+}
+""")
+
+# --- multiple rules at once -------------------------------------------------
+
+case("combined")
+
+with tempfile.TemporaryDirectory() as root:
+    write_tree(root, "src/core/x.cc", """#include <atomic>
+#include <mutex>
+struct Leaf {};
+std::atomic<int> n{0};
+std::mutex mu;
+void f(Leaf* l) {
+  n.fetch_add(1);
+  delete l;
+}
+""")
+    code, out = run_lint(root)
+    check("all three rules fire", code == 1
+          and "[atomic-order]" in out and "[raw-mutex]" in out
+          and "[qsbr-free]" in out, f"(output: {out.strip()!r})")
+    check("violation count reported", "3 violation(s)" in out,
+          f"(output: {out.strip()!r})")
+
+# --- the real tree is clean -------------------------------------------------
+
+case("repo")
+
+proc = subprocess.run([sys.executable, LINT], capture_output=True, text=True,
+                      cwd=REPO)
+check("repo tree is lint-clean", proc.returncode == 0,
+      f"(exit {proc.returncode}: {proc.stdout.strip()!r} {proc.stderr.strip()!r})")
+
+print()
+if FAILURES:
+    print(f"test_lint: {len(FAILURES)} FAILED: {', '.join(FAILURES)}")
+    sys.exit(1)
+print("test_lint: all cases passed")
