@@ -1,19 +1,24 @@
 #!/usr/bin/env python3
-"""Scan-throughput regression gate over BENCH_<date>.json snapshots.
+"""Throughput regression gate over BENCH_<date>.json snapshots.
 
-The two metrics that regressed in the PR-5 cursor rewrite — and that this
-gate exists to keep from regressing silently again:
+The gated metrics — each added after (or to guard) a rewrite of the path it
+measures:
 
   service-ycsb-e   service_mixed, mean of the YCSB-E column across shard rows
+                   (regressed in the PR-5 cursor rewrite)
   fig18-fwd-100    fig18_range "forward scan 100" section, mean of the
-                   Wormhole row across keysets
+                   Wormhole row across keysets (same rewrite)
+  fig09-read-1t    fig09_scalability, Wormhole row, 1-thread Get MOPS —
+                   guards the lock-free optimistic point-read path (a botched
+                   seqlock retry loop shows up here as single-threaded
+                   slowdown long before multicore contention does)
 
 Usage:
   bench_regress.py env BASELINE.json
       Print "SCALE THREADS SECONDS" from the baseline header, so the caller
       re-runs the benches at the exact config the baseline recorded.
   bench_regress.py compare BASELINE.json CURRENT.json [--threshold 0.7]
-      Exit 1 if either metric in CURRENT falls below threshold * BASELINE.
+      Exit 1 if any metric in CURRENT falls below threshold * BASELINE.
 
 Absolute numbers only compare on the same hardware (snapshots record nproc);
 the default threshold of 0.7 (fail on a >30% drop) leaves room for machine
@@ -68,9 +73,27 @@ def fig18_forward_100(snapshot):
     return None
 
 
+def fig09_read_1t(snapshot):
+    bench = bench_named(snapshot, "fig09_scalability")
+    if bench is None:
+        return None
+    for section in bench.get("sections", []):
+        cols = section.get("cols", [])
+        if "1T" not in cols:
+            continue
+        idx = cols.index("1T")
+        for row in section.get("rows", []):
+            if row.get("label") == "Wormhole":
+                values = row.get("values", [])
+                if idx < len(values):
+                    return values[idx]
+    return None
+
+
 METRICS = [
     ("service-ycsb-e", service_ycsb_e),
     ("fig18-fwd-100", fig18_forward_100),
+    ("fig09-read-1t", fig09_read_1t),
 ]
 
 

@@ -22,6 +22,11 @@
 #
 # ctest labels: "unit" (fast, deterministic) and "smoke" (multithreaded +
 # bench end-to-end runs). Filter with: ctest -L unit / ctest -L smoke.
+#
+# WH_CXX=<compiler> switches the release/unit stages to that compiler in a
+# per-compiler build tree (build-<basename>), so the CI gcc+clang matrix
+# caches each tree independently; unset keeps the default `build` dir and
+# the system default compiler.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -63,20 +68,28 @@ stage_end() {
   fi
 }
 
+# Release/unit honor WH_CXX; the sanitizer/tidy stages pin their own
+# compilers and ignore it.
+WH_CXX="${WH_CXX:-}"
+RELEASE_DIR="build"
+if [[ -n "$WH_CXX" ]]; then
+  RELEASE_DIR="build-${WH_CXX##*/}"
+fi
+
 run_release() {
-  stage_begin "release: configure + build"
-  cmake -B build -S . >/dev/null
+  stage_begin "release: configure + build (${WH_CXX:-default compiler})"
+  cmake -B "$RELEASE_DIR" -S . ${WH_CXX:+-DCMAKE_CXX_COMPILER="$WH_CXX"} >/dev/null
   if [[ "$FAST" == 1 ]]; then
-    cmake --build build -j "$JOBS" --target "${TEST_TARGETS[@]}"
+    cmake --build "$RELEASE_DIR" -j "$JOBS" --target "${TEST_TARGETS[@]}"
   else
-    cmake --build build -j "$JOBS"
+    cmake --build "$RELEASE_DIR" -j "$JOBS"
   fi
   stage_end "release build"
   stage_begin "release: ctest"
   if [[ "$FAST" == 1 ]]; then
-    ctest --test-dir build "${CTEST_FLAGS[@]}" -L unit
+    ctest --test-dir "$RELEASE_DIR" "${CTEST_FLAGS[@]}" -L unit
   else
-    ctest --test-dir build "${CTEST_FLAGS[@]}"
+    ctest --test-dir "$RELEASE_DIR" "${CTEST_FLAGS[@]}"
   fi
   stage_end "release ctest"
 }
@@ -183,12 +196,13 @@ run_bench_smoke() {
 }
 
 run_bench_regress() {
-  stage_begin "bench-regress: scan throughput vs committed baseline"
+  stage_begin "bench-regress: throughput vs committed baseline"
   # Re-runs the snapshot benches at the latest committed baseline's exact
-  # recorded config and fails on a >30% drop in either of the two metrics the
+  # recorded config and fails on a >30% drop in any gated metric: the two the
   # PR-5 cursor rewrite regressed (service YCSB-E, fig18 Wormhole
-  # forward-100) — so the next scan regression fails the PR that causes it,
-  # not an archaeology dig two PRs later. Same-hardware caveat as the
+  # forward-100) plus fig09 1-thread Get, which guards the optimistic
+  # point-read fast path — so the next regression fails the PR that causes
+  # it, not an archaeology dig two PRs later. Same-hardware caveat as the
   # snapshots themselves: the gate compares against a baseline recorded on
   # THIS machine (CI baselines come from CI runs).
   if ! command -v python3 >/dev/null 2>&1; then

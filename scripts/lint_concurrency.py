@@ -27,6 +27,17 @@ Rules (each also documented in README.md "Static analysis"):
                    construct std::string (allocation + copy on paths whose
                    whole point is to avoid both). string_view is fine.
 
+  seqlock-order    The leaf `version` seqlock counter has exactly one legal
+                   protocol (odd/even write sections, acquire-validated
+                   reads), implemented by the helpers in src/core/leaf_ops.h
+                   and their call sites in src/core/wormhole.cc. Any direct
+                   `version` load/store/RMW or operator form in any other
+                   file fails; inside the two home files, method calls must
+                   still name an explicit std::memory_order and operator
+                   forms (implicit seq_cst, and invisible to review) are
+                   banned outright. Passing `&leaf->version` to a helper is
+                   the sanctioned handoff and does not match.
+
 Suppression, most-specific first:
   - inline waiver: a `// lint:allow(<rule>): <reason>` comment on the
     flagged line or the line above it. The reason is mandatory.
@@ -58,7 +69,22 @@ ATOMIC_CALLS = (
     "compare_exchange_strong",
 )
 
-RULES = ("atomic-order", "qsbr-free", "raw-mutex", "hot-path-string")
+RULES = ("atomic-order", "qsbr-free", "raw-mutex", "hot-path-string",
+         "seqlock-order")
+
+# Files allowed to touch the seqlock counter directly: the helper layer and
+# the one translation unit that brackets mutations / validates reads with it.
+SEQLOCK_HOME_FILES = ("src/core/leaf_ops.h", "src/core/wormhole.cc")
+
+# `version` reached as a member (x.version.load(...), p->version.store(...))
+# or directly, followed by an atomic method call.
+SEQLOCK_CALL_RE = re.compile(
+    r"\bversion\s*(?:\.|->)\s*(" + "|".join(ATOMIC_CALLS) + r")\s*\(")
+
+# Operator forms on the counter: ++/--/compound-assign/plain assignment.
+# (Brace-init in the declaration does not match; `==`/`!=` comparisons are
+# excluded by the lookarounds.)
+SEQLOCK_OP_RE = re.compile(r"\bversion\s*(\+\+|--|\+=|-=|\|=|&=|\^=|=(?!=))")
 
 RAW_MUTEX_RE = re.compile(
     r"std::(mutex|shared_mutex|timed_mutex|recursive_mutex|lock_guard|"
@@ -219,6 +245,7 @@ class Linter:
         if in_core:
             self.check_qsbr_free(relpath, code_lines, raw_lines)
         self.check_hot_path_string(relpath, raw_lines, code_lines)
+        self.check_seqlock_order(relpath, code, code_lines, raw_lines)
 
     def check_raw_mutex(self, relpath, code_lines, raw_lines):
         for idx, line in enumerate(code_lines):
@@ -264,6 +291,35 @@ class Linter:
                         "atomic-order", relpath, idx + 1, raw_lines,
                         f"operator form on std::atomic '{name}' is seq_cst; "
                         "use .load/.store/.fetch_* with an explicit order")
+
+    def check_seqlock_order(self, relpath, code, code_lines, raw_lines):
+        home = relpath in SEQLOCK_HOME_FILES
+        # Method-call forms, against the flat text so multi-line argument
+        # lists still parse.
+        for m in SEQLOCK_CALL_RE.finditer(code):
+            lineno = code.count("\n", 0, m.start()) + 1
+            if not home:
+                self.report(
+                    "seqlock-order", relpath, lineno, raw_lines,
+                    "direct access to the leaf seqlock counter outside "
+                    "leaf_ops.h/wormhole.cc; use the SeqlockReadBegin/"
+                    "SeqlockReadValidate/SeqlockWriteSection helpers")
+                continue
+            args = call_args(code, m.end() - 1)
+            if args is None or "memory_order" not in args:
+                self.report(
+                    "seqlock-order", relpath, lineno, raw_lines,
+                    f"seqlock counter .{m.group(1)}() without an explicit "
+                    "std::memory_order")
+        # Operator forms are never legal: the write protocol is the RAII
+        # SeqlockWriteSection, and an implicit-seq_cst bump hides the
+        # odd/even bracket from review.
+        for idx, line in enumerate(code_lines):
+            if SEQLOCK_OP_RE.search(line):
+                self.report(
+                    "seqlock-order", relpath, idx + 1, raw_lines,
+                    "operator form on the leaf seqlock counter; mutations "
+                    "must go through leafops::SeqlockWriteSection")
 
     def check_qsbr_free(self, relpath, code_lines, raw_lines):
         for idx, line in enumerate(code_lines):

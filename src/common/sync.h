@@ -27,6 +27,16 @@
 //     returning with a leaf lock held, loop-carried held-lock reuse). Every
 //     use must carry a comment saying WHY analysis is waived; bare waivers
 //     fail review.
+//   - Seqlock readers are the third accepted NO_TSA shape: a function that
+//     reads GUARDED_BY data with NO lock held, bracketed by
+//     leafops::SeqlockReadBegin / SeqlockReadValidate on the guarding leaf's
+//     version counter (Wormhole::OptimisticLeafGet). Such functions must (a)
+//     never dereference out of the validated snapshot (every index/offset is
+//     bounds-checked against the acquired block capacity), (b) discard all
+//     results when validation fails, and (c) touch the version counter only
+//     through the leaf_ops.h helpers — direct version loads/stores elsewhere,
+//     or any without an explicit std::memory_order, fail the `seqlock-order`
+//     lint rule.
 //
 // The macro set below is the standard one from the Clang TSA documentation
 // (mirrors Abseil's). The attributes are erased unless the compiler supports

@@ -14,16 +14,34 @@
 // the slab. Erases and relocating overwrites leave dead bytes behind, tracked
 // in `dead` and reclaimed by Compact once they dominate the slab.
 //
-// All helpers assume the caller holds whatever lock protects the leaf.
+// Concurrency model (the seqlock read path, PR 8). Mutators still require the
+// caller to hold the leaf's exclusive lock, but reads come in two flavors:
+//
+//   locked       shared lock held; plain loads, any helper below is fair game
+//   speculative  NO lock; only SpecFind, bracketed by SeqlockReadBegin /
+//                SeqlockReadValidate on the leaf's version counter
+//
+// To make the speculative flavor defined behavior, each container is a
+// SpecVec: a heap block whose capacity is embedded in its own header, so a
+// racy reader can clamp every index and offset to the capacity of the exact
+// block it loaded — a stale size or torn offset can point at garbage bytes
+// but never outside the allocation. Writers publish replacement blocks with
+// release stores and push every byte written into an already-published block
+// through relaxed atomic stores (plain stores would be a C++ data race with
+// the speculative relaxed loads, and a TSan report). Torn or stale data is
+// fine — the seqlock version check discards it.
+//
 // Returned string_views point into the slab and are invalidated by any
 // mutating call.
 #ifndef WH_SRC_CORE_LEAF_OPS_H_
 #define WH_SRC_CORE_LEAF_OPS_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <cstring>
+#include <new>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -35,6 +53,271 @@ namespace wh {
 namespace leafops {
 
 inline constexpr uint32_t kInlineValue = 8;
+
+// ---------------------------------------------------------------------------
+// Relaxed atomic cell accessors. Speculative readers race with writers by
+// design; both sides go through these so the race is on atomic objects
+// (defined, TSan-clean) instead of plain ones (UB). Relaxed is sufficient:
+// ordering comes from the seqlock version protocol, not from the data.
+// ---------------------------------------------------------------------------
+
+#if defined(__GNUC__) || defined(__clang__)
+inline char RelaxedLoad8(const char* p) {
+  return __atomic_load_n(p, __ATOMIC_RELAXED);
+}
+inline void RelaxedStore8(char* p, char v) {
+  __atomic_store_n(p, v, __ATOMIC_RELAXED);
+}
+inline uint16_t RelaxedLoad16(const uint16_t* p) {
+  return __atomic_load_n(p, __ATOMIC_RELAXED);
+}
+inline void RelaxedStore16(uint16_t* p, uint16_t v) {
+  __atomic_store_n(p, v, __ATOMIC_RELAXED);
+}
+inline uint64_t RelaxedLoad64(const uint64_t* p) {
+  return __atomic_load_n(p, __ATOMIC_RELAXED);
+}
+inline void RelaxedStore64(uint64_t* p, uint64_t v) {
+  __atomic_store_n(p, v, __ATOMIC_RELAXED);
+}
+#else
+// Non-GNU fallback: plain accesses. The optimistic read path is only enabled
+// on toolchains with the builtins; everything else stays on the locked path.
+inline char RelaxedLoad8(const char* p) { return *p; }
+inline void RelaxedStore8(char* p, char v) { *p = v; }
+inline uint16_t RelaxedLoad16(const uint16_t* p) { return *p; }
+inline void RelaxedStore16(uint16_t* p, uint16_t v) { *p = v; }
+inline uint64_t RelaxedLoad64(const uint64_t* p) { return *p; }
+inline void RelaxedStore64(uint64_t* p, uint64_t v) { *p = v; }
+#endif
+
+// Byte-range copies where exactly one side is a published block. The
+// published side is accessed in 8-byte relaxed chunks once aligned (block
+// payloads are 16-aligned, so alignment is reachable); the private side is
+// plain memory.
+inline void RelaxedCopyIn(char* dst, const char* src, size_t n) {
+  size_t i = 0;
+  while (i < n && (reinterpret_cast<uintptr_t>(dst + i) & 7) != 0) {
+    RelaxedStore8(dst + i, src[i]);
+    i++;
+  }
+  for (; i + 8 <= n; i += 8) {
+    uint64_t w;
+    std::memcpy(&w, src + i, 8);
+    RelaxedStore64(reinterpret_cast<uint64_t*>(dst + i), w);
+  }
+  for (; i < n; i++) {
+    RelaxedStore8(dst + i, src[i]);
+  }
+}
+
+// hot-path: speculative value copy-out
+inline void RelaxedCopyOut(char* dst, const char* src, size_t n) {
+  size_t i = 0;
+  while (i < n && (reinterpret_cast<uintptr_t>(src + i) & 7) != 0) {
+    dst[i] = RelaxedLoad8(src + i);
+    i++;
+  }
+  for (; i + 8 <= n; i += 8) {
+    const uint64_t w = RelaxedLoad64(reinterpret_cast<const uint64_t*>(src + i));
+    std::memcpy(dst + i, &w, 8);
+  }
+  for (; i < n; i++) {
+    dst[i] = RelaxedLoad8(src + i);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SpecVec: the vector replacement whose blocks a lockless reader may touch.
+// ---------------------------------------------------------------------------
+
+// How to dispose of a replaced block. The concurrent Wormhole routes blocks
+// through QSBR (a speculative reader may still be loading from one); the
+// single-threaded index and unit tests leave fn null for an immediate free.
+struct BlockRelease {
+  void (*fn)(void* ctx, void* block) = nullptr;
+  void* ctx = nullptr;
+};
+
+// Contiguous T storage with the capacity embedded in the block itself.
+// Readers that cannot trust the owner's size (it may change under them) call
+// AcquireView() and clamp to View::cap — every byte inside [p, p + cap*T) is
+// inside one live allocation for as long as the reader's QSBR epoch pins it.
+//
+// The writer-side API mirrors the std::vector surface the old code used
+// (size/capacity/data/operator[]/begin/end) so locked readers and the
+// single-threaded index are untouched. Mutation is exclusive-writer only.
+template <typename T>
+class SpecVec {
+ public:
+  SpecVec() = default;
+  // Destruction is single-owner teardown: the embedding leaf is only
+  // destroyed after its own grace period (or single-threaded), so no
+  // speculative reader can still hold this block.
+  ~SpecVec() { FreeBlock(block_.load(std::memory_order_relaxed)); }
+  SpecVec(const SpecVec&) = delete;
+  SpecVec& operator=(const SpecVec&) = delete;
+
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
+  size_t capacity() const {
+    const Block* b = block_.load(std::memory_order_relaxed);
+    return b == nullptr ? 0 : b->cap;
+  }
+  T* data() { return Payload(block_.load(std::memory_order_relaxed)); }
+  const T* data() const {
+    return Payload(block_.load(std::memory_order_relaxed));
+  }
+  T& operator[](size_t i) { return data()[i]; }
+  const T& operator[](size_t i) const { return data()[i]; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size(); }
+
+  struct View {
+    const T* p = nullptr;
+    size_t cap = 0;  // of the block `p` points into — the reader's bound
+  };
+  // Speculative entry point. The acquire load pairs with the release
+  // publication in Reserve/AssignFresh/AdoptFrom, making the header cap (and
+  // all bytes copied before publication) visible.
+  View AcquireView() const {
+    const Block* b = block_.load(std::memory_order_acquire);
+    if (b == nullptr) {
+      return View{};
+    }
+    return View{Payload(b), b->cap};
+  }
+
+  void SetSize(size_t n) { size_.store(n, std::memory_order_relaxed); }
+
+  // Grows capacity to exactly n elements (no-op if already >= n), copying the
+  // current contents into the fresh block with plain stores — it is private
+  // until the release publication below.
+  void Reserve(size_t n, const BlockRelease& rel) {
+    Block* old = block_.load(std::memory_order_relaxed);
+    if (old != nullptr && old->cap >= n) {
+      return;
+    }
+    Block* fresh = AllocBlock(n);
+    if (old != nullptr) {
+      std::memcpy(Payload(fresh), Payload(old),
+                  size_.load(std::memory_order_relaxed) * sizeof(T));
+    }
+    block_.store(fresh, std::memory_order_release);
+    ReleaseBlock(old, rel);
+  }
+
+  // Replaces the contents with [src, src + n) in one fresh right-sized block
+  // (Compact's whole-slab rewrite).
+  void AssignFresh(const T* src, size_t n, const BlockRelease& rel) {
+    Block* old = block_.load(std::memory_order_relaxed);
+    Block* fresh = n == 0 ? nullptr : AllocBlock(n);
+    if (n != 0) {
+      std::memcpy(Payload(fresh), src, n * sizeof(T));
+    }
+    size_.store(n, std::memory_order_relaxed);
+    block_.store(fresh, std::memory_order_release);
+    ReleaseBlock(old, rel);
+  }
+
+  // Steals src's block (publishing it here with release) and empties src.
+  // src must be private to the calling thread — this is how SplitTail swaps
+  // a pre-built store into a published leaf in one pointer store per vector.
+  void AdoptFrom(SpecVec* src, const BlockRelease& rel) {
+    Block* old = block_.load(std::memory_order_relaxed);
+    size_.store(src->size_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    block_.store(src->block_.load(std::memory_order_relaxed),
+                 std::memory_order_release);
+    src->block_.store(nullptr, std::memory_order_relaxed);
+    src->size_.store(0, std::memory_order_relaxed);
+    ReleaseBlock(old, rel);
+  }
+
+ private:
+  struct Block {
+    size_t cap;
+    size_t reserved_;  // pads the header to 16 so the payload is 16-aligned
+  };
+  static_assert(sizeof(Block) == 16, "payload alignment depends on this");
+
+  static T* Payload(Block* b) {
+    return b == nullptr ? nullptr : reinterpret_cast<T*>(b + 1);
+  }
+  static const T* Payload(const Block* b) {
+    return b == nullptr ? nullptr : reinterpret_cast<const T*>(b + 1);
+  }
+  static Block* AllocBlock(size_t n) {
+    Block* b = static_cast<Block*>(::operator new(sizeof(Block) + n * sizeof(T)));
+    b->cap = n;
+    b->reserved_ = 0;
+    return b;
+  }
+  static void FreeBlock(void* b) { ::operator delete(b); }
+  static void ReleaseBlock(Block* b, const BlockRelease& rel) {
+    if (b == nullptr) {
+      return;
+    }
+    if (rel.fn != nullptr) {
+      rel.fn(rel.ctx, b);
+    } else {
+      FreeBlock(b);
+    }
+  }
+
+  std::atomic<Block*> block_{nullptr};
+  std::atomic<size_t> size_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Seqlock protocol helpers. The version counter lives on the leaf (it also
+// covers linkage/coverage changes, not just the store), but the protocol is
+// defined here next to the data it protects — and the seqlock-order lint rule
+// holds all other code to "hand the counter to these helpers or use explicit
+// memory_order".
+// ---------------------------------------------------------------------------
+
+// Reader entry: snapshot the counter. An odd snapshot means a writer is mid-
+// mutation — bail immediately rather than read garbage for nothing.
+// hot-path: optimistic read entry
+inline uint64_t SeqlockReadBegin(const std::atomic<uint64_t>& counter) {
+  return counter.load(std::memory_order_acquire);
+}
+
+// Reader exit: all speculative loads complete (program-order) before the
+// fence; the fence orders them before the re-read, so an unchanged even
+// counter proves no writer overlapped the read window (Boehm, "Can seqlocks
+// get along with programming language memory models?").
+// hot-path: optimistic read validation
+inline bool SeqlockReadValidate(const std::atomic<uint64_t>& counter,
+                                uint64_t begin) {
+  std::atomic_thread_fence(std::memory_order_acquire);
+  return counter.load(std::memory_order_relaxed) == begin && (begin & 1) == 0;
+}
+
+// Writer bracket, used under the leaf's exclusive lock: odd while the
+// mutation runs, net +2 per section. The ctor's release fence orders the
+// odd store before any data store; the dtor's release store orders all data
+// stores before the even store. Sections never nest (the counter would go
+// even mid-mutation).
+class SeqlockWriteSection {
+ public:
+  explicit SeqlockWriteSection(std::atomic<uint64_t>* counter)
+      : counter_(counter),
+        begin_(counter->load(std::memory_order_relaxed)) {
+    assert((begin_ & 1) == 0 && "seqlock write sections must not nest");
+    counter_->store(begin_ + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+  }
+  ~SeqlockWriteSection() {
+    counter_->store(begin_ + 2, std::memory_order_release);
+  }
+  SeqlockWriteSection(const SeqlockWriteSection&) = delete;
+  SeqlockWriteSection& operator=(const SeqlockWriteSection&) = delete;
+
+ private:
+  std::atomic<uint64_t>* counter_;
+  uint64_t begin_;
+};
 
 struct LeafSlot {
   uint32_t hash;  // raw CRC32C of the full key (DirectPos only; else 0)
@@ -48,16 +331,43 @@ struct LeafSlot {
 };
 static_assert(sizeof(LeafSlot) == 24, "LeafSlot grew past 24 bytes");
 
+// Whole-slot copies in three 8-byte relaxed chunks: 24 | 8 and the payload is
+// 16-aligned, so every slot starts on an 8-byte boundary. A torn slot (the
+// race window the ISSUE bounds via the fixed slot size) is three chunks at
+// worst, and the seqlock validation throws it away.
+// hot-path: speculative slot snapshot
+inline LeafSlot SlotLoad(const LeafSlot* src) {
+  uint64_t w[3];
+  const uint64_t* p = reinterpret_cast<const uint64_t*>(src);
+  w[0] = RelaxedLoad64(p);
+  w[1] = RelaxedLoad64(p + 1);
+  w[2] = RelaxedLoad64(p + 2);
+  LeafSlot out;
+  std::memcpy(&out, w, sizeof(out));
+  return out;
+}
+
+inline void SlotStore(LeafSlot* dst, const LeafSlot& v) {
+  uint64_t w[3];
+  std::memcpy(w, &v, sizeof(w));
+  uint64_t* p = reinterpret_cast<uint64_t*>(dst);
+  RelaxedStore64(p, w[0]);
+  RelaxedStore64(p + 1, w[1]);
+  RelaxedStore64(p + 2, w[2]);
+}
+
 struct LeafStore {
-  std::vector<LeafSlot> slots;
-  std::vector<uint16_t> by_key;
-  std::vector<uint16_t> by_hash;
-  // std::vector, not std::string: vector::reserve allocates exactly what is
-  // asked, so the gentle growth policy in AppendRaw actually holds (libstdc++
-  // string::reserve rounds any growth up to 2x the old capacity, which would
-  // leave ~half the slab as slack on large-key workloads).
-  std::vector<char> slab;
+  SpecVec<LeafSlot> slots;
+  SpecVec<uint16_t> by_key;
+  SpecVec<uint16_t> by_hash;
+  // SpecVec reservations allocate exactly what is asked (like the
+  // std::vector::reserve this replaced), so the gentle growth policy in
+  // AppendRaw holds and fig. 16's capacity accounting stays honest.
+  SpecVec<char> slab;
   uint32_t dead = 0;  // reclaimable slab bytes (see Compact)
+  // Disposal hook for replaced blocks; the concurrent index points this at
+  // QSBR retirement, everyone else leaves it null (immediate free).
+  BlockRelease release;
 
   size_t size() const { return slots.size(); }
   std::string_view Key(uint16_t id) const {
@@ -221,17 +531,20 @@ inline uint16_t AppendRaw(LeafStore* s, std::string_view key,
       s->slab.size() + key.size() +
       (value.size() > kInlineValue ? value.size() : 0);
   if (need > s->slab.capacity()) {
-    s->slab.reserve(need + need / 8);
+    s->slab.Reserve(need + need / 8, s->release);
   }
   if (s->slots.size() == s->slots.capacity()) {
-    s->slots.reserve(s->slots.size() + s->slots.size() / 4 + 8);
+    s->slots.Reserve(s->slots.size() + s->slots.size() / 4 + 8, s->release);
   }
-  LeafSlot slot;
+  LeafSlot slot{};
   slot.hash = hash;
-  slot.koff = static_cast<uint32_t>(s->slab.size());
+  size_t off = s->slab.size();
+  slot.koff = static_cast<uint32_t>(off);
   slot.klen = static_cast<uint32_t>(key.size());
+  char* slab = s->slab.data();
   if (!key.empty()) {
-    s->slab.insert(s->slab.end(), key.begin(), key.end());
+    RelaxedCopyIn(slab + off, key.data(), key.size());
+    off += key.size();
   }
   slot.vlen = static_cast<uint32_t>(value.size());
   if (slot.vlen <= kInlineValue) {
@@ -239,32 +552,45 @@ inline uint16_t AppendRaw(LeafStore* s, std::string_view key,
       std::memcpy(slot.vinl, value.data(), value.size());
     }
   } else {
-    slot.voff = static_cast<uint32_t>(s->slab.size());
-    s->slab.insert(s->slab.end(), value.begin(), value.end());
+    slot.voff = static_cast<uint32_t>(off);
+    RelaxedCopyIn(slab + off, value.data(), value.size());
+    off += value.size();
   }
+  s->slab.SetSize(off);
   const uint16_t id = static_cast<uint16_t>(s->slots.size());
-  s->slots.push_back(slot);
+  SlotStore(s->slots.data() + id, slot);
+  s->slots.SetSize(id + 1);
   return id;
 }
 
 // Rewrites the slab with only live bytes; slot ids (hence the indexes) are
-// untouched because they address slots, not slab offsets.
+// untouched because they address slots, not slab offsets. The fresh bytes are
+// assembled privately and swapped in as a new block; slot offsets are then
+// repointed with whole-slot stores. A speculative reader interleaving here
+// can see new-slab/old-offset combinations — in-bounds garbage its version
+// check rejects.
 inline void Compact(LeafStore* s) {
   std::vector<char> fresh;
   fresh.reserve(s->slab.size() - s->dead);
-  for (LeafSlot& sl : s->slots) {
+  const size_t n = s->size();
+  std::vector<LeafSlot> updated(n);
+  for (size_t i = 0; i < n; i++) {
+    LeafSlot sl = s->slots[i];
+    const char* slab = s->slab.data();
     const uint32_t koff = static_cast<uint32_t>(fresh.size());
-    fresh.insert(fresh.end(), s->slab.begin() + sl.koff,
-                 s->slab.begin() + sl.koff + sl.klen);
+    fresh.insert(fresh.end(), slab + sl.koff, slab + sl.koff + sl.klen);
     sl.koff = koff;
     if (sl.vlen > kInlineValue) {
       const uint32_t voff = static_cast<uint32_t>(fresh.size());
-      fresh.insert(fresh.end(), s->slab.begin() + sl.voff,
-                   s->slab.begin() + sl.voff + sl.vlen);
+      fresh.insert(fresh.end(), slab + sl.voff, slab + sl.voff + sl.vlen);
       sl.voff = voff;
     }
+    updated[i] = sl;
   }
-  s->slab = std::move(fresh);
+  s->slab.AssignFresh(fresh.data(), fresh.size(), s->release);
+  for (size_t i = 0; i < n; i++) {
+    SlotStore(s->slots.data() + i, updated[i]);
+  }
   s->dead = 0;
 }
 
@@ -306,35 +632,170 @@ inline int FindSlot(const LeafStore& s, bool direct_pos, std::string_view key,
   return -1;
 }
 
+// ---------------------------------------------------------------------------
+// Speculative (lockless) point lookup. Everything below runs with NO lock and
+// must assume every load can be stale or torn; correctness comes from (a)
+// clamping all derived indexes/offsets to the capacity of the block they were
+// loaded from, and (b) the caller's SeqlockReadValidate discarding the result
+// unless the leaf version held still.
+// ---------------------------------------------------------------------------
+
+enum class SpecRead {
+  kFound,         // key present; *value filled (if non-null)
+  kAbsent,        // key not in the snapshot
+  kInconsistent,  // internally impossible snapshot — retry without validating
+};
+
+// Racy byte comparison of `key` against slab[koff, koff+klen). Bounds are the
+// caller's to enforce.
+// hot-path: speculative key compare
+inline bool SpecKeyEquals(const char* slab, uint32_t koff, uint32_t klen,
+                          std::string_view key) {
+  if (klen != key.size()) {
+    return false;
+  }
+  for (uint32_t i = 0; i < klen; i++) {
+    if (RelaxedLoad8(slab + koff + i) != key[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Lockless FindSlot + value copy-out. Mirrors FindSlot's search strategy
+// (by_hash under direct_pos, by_key otherwise) but loads every cell through
+// the relaxed accessors and re-checks every bound. The binary search runs on
+// possibly-garbage keys — it still terminates (the interval shrinks every
+// step) and at worst lands on a wrong slot, which the final key compare or
+// the caller's validation rejects. On kAbsent/kInconsistent *value may hold
+// scribbled bytes; callers only consume it on a validated kFound.
+// hot-path: optimistic point read
+inline SpecRead SpecFind(const LeafStore& s, bool direct_pos,
+                         std::string_view key, uint32_t hash,
+                         std::string* value) {
+  const auto idx = direct_pos ? s.by_hash.AcquireView() : s.by_key.AcquireView();
+  const auto slots = s.slots.AcquireView();
+  const auto slab = s.slab.AcquireView();
+  size_t n = s.size();
+  if (n > idx.cap) {
+    n = idx.cap;  // stale size; clamp — validation will reject the attempt
+  }
+  // Hand-rolled lower_bound over the id index.
+  size_t lo = 0;
+  size_t cnt = n;
+  while (cnt > 0) {
+    const size_t half = cnt / 2;
+    const size_t mid = lo + half;
+    const uint16_t id = RelaxedLoad16(idx.p + mid);
+    if (id >= slots.cap) {
+      return SpecRead::kInconsistent;
+    }
+    const LeafSlot sl = SlotLoad(slots.p + id);
+    if (static_cast<uint64_t>(sl.koff) + sl.klen > slab.cap) {
+      return SpecRead::kInconsistent;
+    }
+    bool less;  // does slot `id` order strictly before `key`?
+    if (direct_pos && sl.hash != hash) {
+      less = sl.hash < hash;
+    } else {
+      int cmp = 0;
+      const uint32_t limit =
+          sl.klen < key.size() ? sl.klen : static_cast<uint32_t>(key.size());
+      for (uint32_t i = 0; i < limit && cmp == 0; i++) {
+        const unsigned char a =
+            static_cast<unsigned char>(RelaxedLoad8(slab.p + sl.koff + i));
+        const unsigned char b = static_cast<unsigned char>(key[i]);
+        cmp = static_cast<int>(a) - static_cast<int>(b);
+      }
+      less = cmp != 0 ? cmp < 0 : sl.klen < key.size();
+    }
+    if (less) {
+      lo = mid + 1;
+      cnt -= half + 1;
+    } else {
+      cnt = half;
+    }
+  }
+  if (lo >= n) {
+    return SpecRead::kAbsent;
+  }
+  const uint16_t id = RelaxedLoad16(idx.p + lo);
+  if (id >= slots.cap) {
+    return SpecRead::kInconsistent;
+  }
+  const LeafSlot sl = SlotLoad(slots.p + id);
+  if (static_cast<uint64_t>(sl.koff) + sl.klen > slab.cap) {
+    return SpecRead::kInconsistent;
+  }
+  if (direct_pos && sl.hash != hash) {
+    return SpecRead::kAbsent;
+  }
+  if (!SpecKeyEquals(slab.p, sl.koff, sl.klen, key)) {
+    return SpecRead::kAbsent;
+  }
+  if (value != nullptr) {
+    if (sl.vlen <= kInlineValue) {
+      value->assign(sl.vinl, sl.vlen);  // sl is a local snapshot already
+    } else {
+      if (static_cast<uint64_t>(sl.voff) + sl.vlen > slab.cap) {
+        return SpecRead::kInconsistent;
+      }
+      value->resize(sl.vlen);
+      RelaxedCopyOut(value->data(), slab.p + sl.voff, sl.vlen);
+    }
+  }
+  return SpecRead::kFound;
+}
+
 // Appends a new item and splices its slot id into the ordered indexes.
 // `hash` must be the full-key CRC32C raw state when direct_pos (ignored
 // otherwise).
 inline void Insert(LeafStore* s, bool direct_pos, std::string_view key,
                    std::string_view value, uint32_t hash) {
   const uint16_t id = AppendRaw(s, key, value, direct_pos ? hash : 0);
-  auto kit = std::lower_bound(
-      s->by_key.begin(), s->by_key.end(), key,
-      [&](uint16_t a, std::string_view k) { return s->Key(a) < k; });
-  s->by_key.insert(kit, id);
+  // The splice shifts the ordered tail one position right; every displaced
+  // cell is rewritten through a relaxed store because the block is published.
+  const auto splice = [&](SpecVec<uint16_t>* index, size_t pos) {
+    const size_t old_n = index->size();
+    if (old_n == index->capacity()) {
+      index->Reserve(old_n + old_n / 4 + 8, s->release);
+    }
+    uint16_t* p = index->data();
+    for (size_t i = old_n; i > pos; i--) {
+      RelaxedStore16(p + i, p[i - 1]);
+    }
+    RelaxedStore16(p + pos, id);
+    index->SetSize(old_n + 1);
+  };
+  const auto kpos = static_cast<size_t>(
+      std::lower_bound(
+          s->by_key.begin(), s->by_key.end(), key,
+          [&](uint16_t a, std::string_view k) { return s->Key(a) < k; }) -
+      s->by_key.begin());
+  splice(&s->by_key, kpos);
   if (direct_pos) {
-    auto hit = std::lower_bound(s->by_hash.begin(), s->by_hash.end(), id,
-                                [&](uint16_t a, uint16_t b) {
-                                  const LeafSlot& sa = s->slots[a];
-                                  const LeafSlot& sb = s->slots[b];
-                                  if (sa.hash != sb.hash) {
-                                    return sa.hash < sb.hash;
-                                  }
-                                  return s->Key(a) < s->Key(b);
-                                });
-    s->by_hash.insert(hit, id);
+    const auto hpos = static_cast<size_t>(
+        std::lower_bound(s->by_hash.begin(), s->by_hash.end(), id,
+                         [&](uint16_t a, uint16_t b) {
+                           const LeafSlot& sa = s->slots[a];
+                           const LeafSlot& sb = s->slots[b];
+                           if (sa.hash != sb.hash) {
+                             return sa.hash < sb.hash;
+                           }
+                           return s->Key(a) < s->Key(b);
+                         }) -
+        s->by_hash.begin());
+    splice(&s->by_hash, hpos);
   }
 }
 
 // Overwrites slot `id`'s value: inline when short, reusing the old
 // out-of-line span when the new value fits, appending (and marking the old
-// span dead) otherwise.
+// span dead) otherwise. The slot is rewritten as one whole-slot store so a
+// speculative reader never sees a half-updated length/offset pair from plain
+// field writes (it can still see a torn slot — validation covers that).
 inline void UpdateValue(LeafStore* s, uint16_t id, std::string_view value) {
-  LeafSlot& sl = s->slots[id];
+  LeafSlot sl = s->slots[id];  // private working copy; plain read is fine
   const bool was_ext = sl.vlen > kInlineValue;
   const uint32_t new_len = static_cast<uint32_t>(value.size());
   if (new_len <= kInlineValue) {
@@ -345,7 +806,7 @@ inline void UpdateValue(LeafStore* s, uint16_t id, std::string_view value) {
       std::memcpy(sl.vinl, value.data(), new_len);
     }
   } else if (was_ext && new_len <= sl.vlen) {
-    std::memcpy(&s->slab[sl.voff], value.data(), new_len);
+    RelaxedCopyIn(s->slab.data() + sl.voff, value.data(), new_len);
     s->dead += sl.vlen - new_len;
   } else {
     if (was_ext) {
@@ -353,13 +814,15 @@ inline void UpdateValue(LeafStore* s, uint16_t id, std::string_view value) {
     }
     const size_t need = s->slab.size() + new_len;
     if (need > s->slab.capacity()) {
-      s->slab.reserve(need + need / 8);
+      s->slab.Reserve(need + need / 8, s->release);
     }
     const uint32_t voff = static_cast<uint32_t>(s->slab.size());
-    s->slab.insert(s->slab.end(), value.begin(), value.end());
+    RelaxedCopyIn(s->slab.data() + voff, value.data(), new_len);
+    s->slab.SetSize(s->slab.size() + new_len);
     sl.voff = voff;
   }
   sl.vlen = new_len;
+  SlotStore(s->slots.data() + id, sl);
   MaybeCompact(s);
 }
 
@@ -372,50 +835,63 @@ inline void Erase(LeafStore* s, bool direct_pos, uint16_t id) {
   const uint16_t last = static_cast<uint16_t>(s->slots.size() - 1);
   // Leaves hold at most leaf_capacity (~128) items: linear index fixups are
   // cheap and immune to comparator subtleties.
-  auto fixup = [&](std::vector<uint16_t>& index) {
-    size_t erase_pos = index.size();
-    for (size_t i = 0; i < index.size(); i++) {
-      if (index[i] == id) {
+  const auto fixup = [&](SpecVec<uint16_t>* index) {
+    const size_t n = index->size();
+    uint16_t* p = index->data();
+    size_t erase_pos = n;
+    for (size_t i = 0; i < n; i++) {
+      if (p[i] == id) {
         erase_pos = i;
-      } else if (index[i] == last) {
-        index[i] = id;  // the last slot moves into the erased position
+      } else if (p[i] == last) {
+        RelaxedStore16(p + i, id);  // the last slot moves into the erased spot
       }
     }
-    assert(erase_pos < index.size());
-    index.erase(index.begin() + static_cast<ptrdiff_t>(erase_pos));
+    assert(erase_pos < n);
+    for (size_t i = erase_pos; i + 1 < n; i++) {
+      RelaxedStore16(p + i, p[i + 1]);
+    }
+    index->SetSize(n - 1);
   };
-  fixup(s->by_key);
+  fixup(&s->by_key);
   if (direct_pos) {
-    fixup(s->by_hash);
+    fixup(&s->by_hash);
   }
   if (id != last) {
-    s->slots[id] = s->slots[last];
+    SlotStore(s->slots.data() + id, s->slots[last]);
   }
-  s->slots.pop_back();
+  s->slots.SetSize(last);
   MaybeCompact(s);
 }
 
 // Recomputes both ordered indexes from `slots` (after bulk moves in a split).
+// Plain writes throughout: only legal on stores no speculative reader can
+// reach — freshly built split halves (SplitTail rebuilds BEFORE publication)
+// or the single-threaded index.
 inline void RebuildIndexes(LeafStore* s, bool direct_pos) {
-  s->by_key.resize(s->slots.size());
-  for (uint16_t i = 0; i < s->slots.size(); i++) {
-    s->by_key[i] = i;
+  const size_t n = s->slots.size();
+  s->by_key.Reserve(n, s->release);
+  s->by_key.SetSize(n);
+  uint16_t* bk = s->by_key.data();
+  for (size_t i = 0; i < n; i++) {
+    bk[i] = static_cast<uint16_t>(i);
   }
-  std::sort(s->by_key.begin(), s->by_key.end(),
+  std::sort(bk, bk + n,
             [&](uint16_t a, uint16_t b) { return s->Key(a) < s->Key(b); });
   if (direct_pos) {
-    s->by_hash = s->by_key;
-    std::sort(s->by_hash.begin(), s->by_hash.end(),
-              [&](uint16_t a, uint16_t b) {
-                const LeafSlot& sa = s->slots[a];
-                const LeafSlot& sb = s->slots[b];
-                if (sa.hash != sb.hash) {
-                  return sa.hash < sb.hash;
-                }
-                return s->Key(a) < s->Key(b);
-              });
+    s->by_hash.Reserve(n, s->release);
+    s->by_hash.SetSize(n);
+    uint16_t* bh = s->by_hash.data();
+    std::memcpy(bh, bk, n * sizeof(uint16_t));
+    std::sort(bh, bh + n, [&](uint16_t a, uint16_t b) {
+      const LeafSlot& sa = s->slots[a];
+      const LeafSlot& sb = s->slots[b];
+      if (sa.hash != sb.hash) {
+        return sa.hash < sb.hash;
+      }
+      return s->Key(a) < s->Key(b);
+    });
   } else {
-    s->by_hash.clear();
+    s->by_hash.SetSize(0);
   }
 }
 
@@ -457,7 +933,13 @@ inline size_t ChooseSplitIndex(const LeafStore& s, bool shortest_anchor) {
 }
 
 // Moves the key-ordered tail [si, n) of *left into *right (assumed empty) and
-// compacts the retained head in place; rebuilds both stores' indexes.
+// compacts the retained head in place; rebuilds both stores' indexes. Both
+// halves are assembled as private stores — indexes included — and the head is
+// swapped into *left with four release block publications at the end, so a
+// speculative reader of *left sees either the old store or a fully-built new
+// one (never an index/slots mix from different generations... which its
+// version check would reject anyway; the discipline keeps the window narrow
+// and the blocks internally consistent).
 inline void SplitTail(LeafStore* left, LeafStore* right, size_t si,
                       bool direct_pos) {
   const size_t n = left->size();
@@ -472,22 +954,26 @@ inline void SplitTail(LeafStore* left, LeafStore* right, size_t si,
     }
     return bytes;
   };
-  right->slots.reserve(n - si);
-  right->slab.reserve(slab_bytes_of(si, n));
+  right->slots.Reserve(n - si, right->release);
+  right->slab.Reserve(slab_bytes_of(si, n), right->release);
   for (size_t i = si; i < n; i++) {
     const uint16_t id = left->by_key[i];
     AppendRaw(right, left->Key(id), left->Value(id), left->slots[id].hash);
   }
-  LeafStore head;
-  head.slots.reserve(si);
-  head.slab.reserve(slab_bytes_of(0, si));
+  RebuildIndexes(right, direct_pos);
+  LeafStore head;  // null release hook: scratch blocks free immediately
+  head.slots.Reserve(si, head.release);
+  head.slab.Reserve(slab_bytes_of(0, si), head.release);
   for (size_t i = 0; i < si; i++) {
     const uint16_t id = left->by_key[i];
     AppendRaw(&head, left->Key(id), left->Value(id), left->slots[id].hash);
   }
-  *left = std::move(head);
-  RebuildIndexes(left, direct_pos);
-  RebuildIndexes(right, direct_pos);
+  RebuildIndexes(&head, direct_pos);
+  left->slots.AdoptFrom(&head.slots, left->release);
+  left->by_key.AdoptFrom(&head.by_key, left->release);
+  left->by_hash.AdoptFrom(&head.by_hash, left->release);
+  left->slab.AdoptFrom(&head.slab, left->release);
+  left->dead = 0;
 }
 
 // Exact heap footprint of one store (the embedding Leaf's sizeof is the

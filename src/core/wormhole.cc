@@ -593,19 +593,40 @@ struct Wormhole::Leaf {
   // Per-leaf reader-writer lock; below meta_mu_ in the hierarchy (a thread
   // holding `lock` never acquires meta_mu_, and never a second leaf's lock).
   mutable SharedMutex lock;
-  // Bumped under the exclusive lock whenever coverage changes: +2 on a split
-  // (still live, range shrank), +1 on removal. Validation today consults only
-  // the parity (odd = retired ⇒ drop the leaf and retry; live-leaf shrinkage
-  // is caught by the range check in Covers); the split bump keeps the counter
-  // a truthful coverage-change count for future optimistic read paths.
+  // Seqlock write counter (protocol helpers in leaf_ops.h): odd exactly while
+  // a locked writer is inside a SeqlockWriteSection — every in-leaf mutation,
+  // the split's store swap + linkage update, and removal — and a net +2 per
+  // section. Lock-free readers (OptimisticLeafGet) snapshot an even value,
+  // copy speculatively, and revalidate; cursors compare equality across
+  // window boundaries (any change, structural or in-leaf, forces a
+  // re-rank/re-route). All accesses outside the leaf_ops.h helpers use
+  // explicit memory_order — enforced by the seqlock-order lint rule.
   std::atomic<uint64_t> version{0};
+  // Retirement flag (version parity no longer encodes it): set inside the
+  // removal's write section, under the exclusive lock + meta_mu_, right
+  // before the leaf is unlinked. Lock-free readers check it after the
+  // speculative copy; a racy early read only costs a retry.
+  std::atomic<bool> dead{false};
   leafops::LeafStore store GUARDED_BY(lock);
 
   explicit Leaf(std::string a) : anchor(std::move(a)) {}
-  bool retired() const {  // callers hold lock in either mode
-    return (version.load(std::memory_order_relaxed) & 1) != 0;
+  bool retired() const {  // lock-free callers included
+    return dead.load(std::memory_order_acquire);
   }
 };
+
+namespace {
+
+// Replaced SpecVec blocks from a published leaf store go through QSBR: a
+// lock-free reader's op-scoped epoch (or a cursor's pin) may still be
+// loading from the old block when the writer swaps in a replacement.
+void FreeStoreBlock(void* block) { ::operator delete(block); }
+
+void RetireStoreBlock(void* ctx, void* block) {
+  static_cast<Qsbr*>(ctx)->Retire(block, &FreeStoreBlock);
+}
+
+}  // namespace
 
 struct Wormhole::Table {
   const size_t mask;
@@ -625,6 +646,7 @@ Wormhole::Wormhole(const Options& opt, Qsbr* qsbr) : opt_(opt), qsbr_(qsbr) {
     opt_.leaf_capacity = 4096;
   }
   head_ = new Leaf("");  // anchor "" — covers everything until the first split
+  head_->store.release = {&RetireStoreBlock, qsbr_};
   root_ = new Node("");
   root_->lmost.store(head_, std::memory_order_relaxed);
   root_->rmost.store(head_, std::memory_order_relaxed);
@@ -782,10 +804,13 @@ Wormhole::Leaf* Wormhole::RouteToLeaf(std::string_view key,
 
 // hot-path: per-acquire validation
 bool Wormhole::Covers(const Leaf* leaf, std::string_view key) {
-  // Caller holds leaf->lock (either mode). The version and the leaf's own
-  // range only change under that lock held exclusively; a *successor's*
-  // removal can swing leaf->next concurrently, but that only grows the true
-  // range, so a stale next either accepts correctly or rejects and retries.
+  // Locked callers hold leaf->lock (either mode): the leaf's own range only
+  // changes under that lock held exclusively; a *successor's* removal can
+  // swing leaf->next concurrently, but that only grows the true range, so a
+  // stale next either accepts correctly or rejects and retries. Lock-free
+  // callers (OptimisticLeafGet) use this purely as a pre-filter — anchors
+  // are immutable, the loads are atomic, and a racy verdict is caught by the
+  // seqlock validation that follows.
   if (leaf->retired()) {
     return false;
   }
@@ -794,6 +819,32 @@ bool Wormhole::Covers(const Leaf* leaf, std::string_view key) {
   }
   const Leaf* nx = leaf->next.load(std::memory_order_acquire);
   return nx == nullptr || key < std::string_view(nx->anchor);
+}
+
+// hot-path: the lock-free point read (one attempt)
+Wormhole::SpecOutcome Wormhole::OptimisticLeafGet(Leaf* leaf,
+                                                  std::string_view key,
+                                                  uint32_t kv_hash,
+                                                  std::string* value) const {
+  const uint64_t begin = leafops::SeqlockReadBegin(leaf->version);
+  if ((begin & 1) != 0) {
+    return SpecOutcome::kRetry;  // writer mid-section; reading is pointless
+  }
+  if (!Covers(leaf, key)) {
+    return SpecOutcome::kRetry;  // stale route (split/removed); re-route
+  }
+  const leafops::SpecRead r =
+      leafops::SpecFind(leaf->store, opt_.direct_pos, key, kv_hash, value);
+  if (r == leafops::SpecRead::kInconsistent) {
+    return SpecOutcome::kRetry;
+  }
+  // The acquire fence inside orders every speculative load above before the
+  // version re-read; an unchanged even version (and a still-live leaf) means
+  // no write section overlapped the copy — the snapshot is consistent.
+  if (!leafops::SeqlockReadValidate(leaf->version, begin) || leaf->retired()) {
+    return SpecOutcome::kRetry;
+  }
+  return r == leafops::SpecRead::kFound ? SpecOutcome::kHit : SpecOutcome::kMiss;
 }
 
 Wormhole::Leaf* Wormhole::AcquireLeaf(std::string_view key, Mode mode,
@@ -837,6 +888,23 @@ Wormhole::Leaf* Wormhole::AcquireLeaf(std::string_view key, Mode mode,
 bool Wormhole::Get(std::string_view key, std::string* value) {
   QsbrOp op(qsbr_);
   uint32_t h;
+  // Fast path: route lock-free, then one seqlock-validated speculative read
+  // per attempt. The QsbrOp above is what makes the lockless dereferences
+  // safe — this thread's epoch stays pinned for the whole operation, so a
+  // leaf (or a store block) retired mid-read cannot be freed under us.
+  for (uint32_t attempt = 0; attempt < opt_.optimistic_retries; attempt++) {
+    Leaf* leaf = RouteToLeaf(key, &h);
+    if (leaf == nullptr) {
+      continue;  // routed mid-publication; re-route
+    }
+    const SpecOutcome oc = OptimisticLeafGet(leaf, key, h, value);
+    if (oc != SpecOutcome::kRetry) {
+      return oc == SpecOutcome::kHit;  // RouteToLeaf counted the lookup
+    }
+  }
+  // Fallback: the locked read path (also the whole path when
+  // optimistic_retries is 0). Bounded-retry lock + validate, serializing
+  // with structural writers in the limit — readers cannot livelock.
   Leaf* leaf = AcquireLeaf(key, Mode::kShared, &h);
   leaf->lock.AssertReaderHeld();  // handed over by AcquireLeaf (NO_TSA)
   const int slot = leafops::FindSlot(leaf->store, opt_.direct_pos, key, h);
@@ -859,7 +927,6 @@ size_t Wormhole::MultiGet(const std::vector<std::string_view>& keys,
   }
   QsbrOp op(qsbr_);
   size_t found = 0;
-  Leaf* held = nullptr;  // shared-locked while non-null
 
   // The batch runs as a staged pipeline over groups of kGroup keys: every
   // round each in-flight key consumes the bucket line prefetched for it last
@@ -1008,53 +1075,61 @@ size_t Wormhole::MultiGet(const std::vector<std::string_view>& keys,
       PrefetchRead(r.leaf);
     }
 
-    // Stage 3: serve in batch order, reusing the held shared lock across
-    // consecutive same-leaf keys. The pipeline's route is only a hint: the
-    // leaf is locked and validated exactly like the serial path, and a stale
-    // route (or one that failed mid-publication) falls back to AcquireLeaf.
-    size_t fallbacks = 0;  // keys AcquireLeaf re-counts as fresh lookups
+    // Stage 3: validate, don't lock. Each key runs the same optimistic
+    // protocol as serial Get, seeded with the pipelined route as the first
+    // candidate (its leaf header is already in cache from stage 2); a lost
+    // attempt re-routes, and an exhausted retry budget falls back to one
+    // per-key locked lookup. The fast path touches no leaf lock at all.
+    size_t rerouted = 0;  // keys whose re-route/fallback self-counted lookups
     for (size_t i = 0; i < g; i++) {
       const std::string_view key = keys[base + i];
       Route& r = rt[i];
-      if (held == nullptr || !Covers(held, key)) {
-        if (held != nullptr) {
-          held->lock.unlock_shared();
-          held = nullptr;
-        }
-        Leaf* cand = r.leaf;
+      std::string* out = &(*values)[base + i];
+      Leaf* cand = r.leaf;
+      SpecOutcome oc = SpecOutcome::kRetry;
+      bool recount = false;
+      for (uint32_t a = 0; a < opt_.optimistic_retries; a++) {
         if (cand != nullptr) {
-          cand->lock.lock_shared();
-          if (Covers(cand, key)) {
-            held = cand;
-          } else {
-            cand->lock.unlock_shared();
+          oc = OptimisticLeafGet(cand, key, r.kv_hash, out);
+          if (oc != SpecOutcome::kRetry) {
+            break;
           }
         }
-        if (held == nullptr) {
-          fallbacks++;
-          held = AcquireLeaf(key, Mode::kShared, &r.kv_hash);
-        }
+        cand = RouteToLeaf(key, &r.kv_hash);  // self-counts the lookup
+        recount = true;
       }
-      const int slot = leafops::FindSlot(held->store, opt_.direct_pos, key,
-                                         r.kv_hash);
-      if (slot >= 0) {
-        (*values)[base + i].assign(held->store.Value(static_cast<uint16_t>(slot)));
+      bool hit;
+      if (oc == SpecOutcome::kRetry) {
+        recount = true;
+        Leaf* leaf = AcquireLeaf(key, Mode::kShared, &r.kv_hash);
+        leaf->lock.AssertReaderHeld();  // handed over by AcquireLeaf (NO_TSA)
+        const int slot =
+            leafops::FindSlot(leaf->store, opt_.direct_pos, key, r.kv_hash);
+        hit = slot >= 0;
+        if (hit) {
+          out->assign(leaf->store.Value(static_cast<uint16_t>(slot)));
+        }
+        leaf->lock.unlock_shared();
+      } else {
+        hit = oc == SpecOutcome::kHit;
+      }
+      if (hit) {
         (*hits)[base + i] = 1;
         found++;
       } else {
-        (*values)[base + i].clear();
+        out->clear();
+      }
+      if (recount) {
+        rerouted++;
       }
     }
     if (opt_.count_probes) {
-      // A fallback key's lookup is counted by AcquireLeaf->RouteToLeaf (per
-      // attempt, matching the serial Get path); counting it here as well
-      // would inflate probes-per-lookup relative to serial measurements.
-      lookups_.fetch_add(g - fallbacks, std::memory_order_relaxed);
+      // A re-routed or fallback key's lookups are counted by RouteToLeaf (per
+      // attempt, matching the serial Get path); counting those keys here as
+      // well would inflate probes-per-lookup relative to serial measurements.
+      lookups_.fetch_add(g - rerouted, std::memory_order_relaxed);
       probes_.fetch_add(probes, std::memory_order_relaxed);
     }
-  }
-  if (held != nullptr) {
-    held->lock.unlock_shared();
   }
   return found;
 }
@@ -1077,11 +1152,15 @@ void Wormhole::MultiPut(
     }
     const int slot = leafops::FindSlot(leaf->store, opt_.direct_pos, key, h);
     if (slot >= 0) {
+      leafops::SeqlockWriteSection ws(&leaf->version);
       leafops::UpdateValue(&leaf->store, static_cast<uint16_t>(slot), value);
       continue;
     }
     if (leaf->store.size() < opt_.leaf_capacity) {
-      leafops::Insert(&leaf->store, opt_.direct_pos, key, value, h);
+      {
+        leafops::SeqlockWriteSection ws(&leaf->version);
+        leafops::Insert(&leaf->store, opt_.direct_pos, key, value, h);
+      }
       item_count_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
@@ -1103,12 +1182,18 @@ void Wormhole::Put(std::string_view key, std::string_view value) {
   leaf->lock.AssertHeld();  // handed over by AcquireLeaf (NO_TSA)
   const int slot = leafops::FindSlot(leaf->store, opt_.direct_pos, key, h);
   if (slot >= 0) {
-    leafops::UpdateValue(&leaf->store, static_cast<uint16_t>(slot), value);
+    {
+      leafops::SeqlockWriteSection ws(&leaf->version);
+      leafops::UpdateValue(&leaf->store, static_cast<uint16_t>(slot), value);
+    }
     leaf->lock.unlock();
     return;
   }
   if (leaf->store.size() < opt_.leaf_capacity) {
-    leafops::Insert(&leaf->store, opt_.direct_pos, key, value, h);
+    {
+      leafops::SeqlockWriteSection ws(&leaf->version);
+      leafops::Insert(&leaf->store, opt_.direct_pos, key, value, h);
+    }
     item_count_.fetch_add(1, std::memory_order_relaxed);
     leaf->lock.unlock();
     return;
@@ -1127,12 +1212,18 @@ void Wormhole::PutSlow(std::string_view key, std::string_view value) {
   leaf->lock.lock();
   const int slot = leafops::FindSlot(leaf->store, opt_.direct_pos, key, h);
   if (slot >= 0) {
-    leafops::UpdateValue(&leaf->store, static_cast<uint16_t>(slot), value);
+    {
+      leafops::SeqlockWriteSection ws(&leaf->version);
+      leafops::UpdateValue(&leaf->store, static_cast<uint16_t>(slot), value);
+    }
     leaf->lock.unlock();
     return;
   }
   if (leaf->store.size() < opt_.leaf_capacity) {  // a concurrent split made room
-    leafops::Insert(&leaf->store, opt_.direct_pos, key, value, h);
+    {
+      leafops::SeqlockWriteSection ws(&leaf->version);
+      leafops::Insert(&leaf->store, opt_.direct_pos, key, value, h);
+    }
     item_count_.fetch_add(1, std::memory_order_relaxed);
     leaf->lock.unlock();
     return;
@@ -1152,7 +1243,11 @@ bool Wormhole::Delete(std::string_view key) {
     return false;
   }
   if (leaf->store.size() > 1 || leaf == head_) {
-    leafops::Erase(&leaf->store, opt_.direct_pos, static_cast<uint16_t>(slot));
+    {
+      leafops::SeqlockWriteSection ws(&leaf->version);
+      leafops::Erase(&leaf->store, opt_.direct_pos,
+                     static_cast<uint16_t>(slot));
+    }
     item_count_.fetch_sub(1, std::memory_order_relaxed);
     leaf->lock.unlock();
     return true;
@@ -1172,7 +1267,12 @@ bool Wormhole::DeleteSlow(std::string_view key) {
     leaf->lock.unlock();
     return false;
   }
-  leafops::Erase(&leaf->store, opt_.direct_pos, static_cast<uint16_t>(slot));
+  {
+    // The erase and the removal below are separate sections: sections must
+    // not nest, and the gap between them only exposes a valid (empty) store.
+    leafops::SeqlockWriteSection ws(&leaf->version);
+    leafops::Erase(&leaf->store, opt_.direct_pos, static_cast<uint16_t>(slot));
+  }
   item_count_.fetch_sub(1, std::memory_order_relaxed);
   if (leaf->store.size() == 0 && leaf != head_) {
     RemoveLeafLocked(leaf);
@@ -1247,10 +1347,14 @@ class Wormhole::CursorImpl final : public Cursor {
     strict_ = true;
     // A truncated window left items behind in this very leaf — a leaf hop
     // would skip them, so continue inside the (revalidated) leaf instead.
+    // A failed hop (any write section in the leaf since the fill lost the
+    // version race) also retries as a continuation: re-rank under the
+    // coverage check and hop from the fresh snapshot, which is far cheaper
+    // than the full re-route ContinueForward falls back to.
     if (trunc_hi_) {
       ContinueForward();
     } else if (!HopForward()) {
-      PositionForward();
+      ContinueForward();
     }
   }
 
@@ -1268,7 +1372,7 @@ class Wormhole::CursorImpl final : public Cursor {
     if (trunc_lo_) {
       ContinueBackward();
     } else if (!HopBackward()) {
-      PositionBackward();
+      ContinueBackward();  // same failed-hop retry as Next()
     }
   }
 
@@ -1367,14 +1471,19 @@ class Wormhole::CursorImpl final : public Cursor {
     }
   }
 
-  // Continues past a truncated window edge without a re-route: an unchanged
-  // version proves leaf_'s coverage is intact, so the successor of bound_
-  // still lives in this same leaf — refill straight from it. A lost race
-  // falls back to the full route.
+  // Continues past a truncated window edge without a re-route. The version
+  // counter now advances on EVERY write section (the seqlock protocol), so
+  // equality would force a re-route on any in-leaf churn; under the shared
+  // lock a weaker check suffices: a live leaf that still covers bound_ holds
+  // exactly the keys between bound_ and its current next anchor, so the
+  // successor of bound_ (if any in range) lives here — re-rank and refill.
+  // The refill re-snapshots the version, so a follow-up hop validates
+  // against fresh state. Only a moved/removed bound_ falls back to the
+  // full route.
   void ContinueForward() {
     Leaf* cur = leaf_;
     cur->lock.lock_shared();
-    if (cur->version.load(std::memory_order_relaxed) != leaf_version_) {
+    if (!Covers(cur, bound_)) {
       cur->lock.unlock_shared();
       PositionForward();
       return;
@@ -1386,8 +1495,9 @@ class Wormhole::CursorImpl final : public Cursor {
       valid_ = true;
       return;
     }
-    // Everything past bound_ in this leaf vanished since the refill (deletes
-    // do not bump the version): the window now reaches the leaf end, hop on.
+    // Nothing past bound_ left in this leaf (deleted since the last window,
+    // or the leaf split at bound_): the fresh empty window reaches the leaf
+    // end with a just-recorded version, so hop from it.
     if (!HopForward()) {
       PositionForward();
     }
@@ -1396,7 +1506,7 @@ class Wormhole::CursorImpl final : public Cursor {
   void ContinueBackward() {
     Leaf* cur = leaf_;
     cur->lock.lock_shared();
-    if (cur->version.load(std::memory_order_relaxed) != leaf_version_) {
+    if (!Covers(cur, bound_)) {
       cur->lock.unlock_shared();
       PositionBackward();
       return;
@@ -1628,28 +1738,38 @@ void Wormhole::SplitAndInsert(Leaf* left, std::string_view key,
   // Copy the anchor bytes out before SplitTail rewrites the slab under them.
   Leaf* right = new Leaf(std::string(right_min.substr(
       0, leafops::SeparatorLen(left->store.KeyAt(si - 1), right_min))));
-  leafops::SplitTail(&left->store, &right->store, si, opt_.direct_pos);
-  // The new item goes to whichever side covers it — placed before publication,
-  // so no second published-leaf lock is ever taken.
-  if (key < std::string_view(right->anchor)) {
-    leafops::Insert(&left->store, opt_.direct_pos, key, value, kv_hash);
-  } else {
-    leafops::Insert(&right->store, opt_.direct_pos, key, value, kv_hash);
-  }
-  item_count_.fetch_add(1, std::memory_order_relaxed);
+  // The right leaf inherits the QSBR-backed block-release hook BEFORE its
+  // store is built: any block its later growth replaces must outlive the
+  // grace period once the leaf is published.
+  right->store.release = left->store.release;
+  {
+    // One seqlock write section covers the store swap, the covered insert
+    // and the linkage update: left's store mutates and its range shrinks,
+    // and an optimistic reader overlapping any of it sees an odd or advanced
+    // version and retries. Net +2 — the same coverage-change bump as before.
+    leafops::SeqlockWriteSection ws(&left->version);
+    leafops::SplitTail(&left->store, &right->store, si, opt_.direct_pos);
+    // The new item goes to whichever side covers it — placed before
+    // publication, so no second published-leaf lock is ever taken.
+    if (key < std::string_view(right->anchor)) {
+      leafops::Insert(&left->store, opt_.direct_pos, key, value, kv_hash);
+    } else {
+      leafops::Insert(&right->store, opt_.direct_pos, key, value, kv_hash);
+    }
+    item_count_.fetch_add(1, std::memory_order_relaxed);
 
-  // Publish: first link the fully built leaf into the list (the release store
-  // to left->next publishes right's fields), then add its anchor to the trie.
-  // A reader routed to left for a right-side key in between fails validation
-  // (key >= right->anchor) and retries.
-  Leaf* nx = left->next.load(std::memory_order_relaxed);
-  right->prev.store(left, std::memory_order_relaxed);
-  right->next.store(nx, std::memory_order_relaxed);
-  if (nx != nullptr) {
-    nx->prev.store(right, std::memory_order_release);
+    // Publish: link the fully built leaf into the list (the release store
+    // to left->next publishes right's fields). A reader routed to left for
+    // a right-side key after this fails validation (key >= right->anchor)
+    // and retries.
+    Leaf* nx = left->next.load(std::memory_order_relaxed);
+    right->prev.store(left, std::memory_order_relaxed);
+    right->next.store(nx, std::memory_order_relaxed);
+    if (nx != nullptr) {
+      nx->prev.store(right, std::memory_order_release);
+    }
+    left->next.store(right, std::memory_order_release);
   }
-  left->next.store(right, std::memory_order_release);
-  left->version.fetch_add(2, std::memory_order_release);  // live, range shrank
 
   InsertAnchor(right->anchor, right);
   MaybeGrowTable();
@@ -1659,7 +1779,13 @@ void Wormhole::RemoveLeafLocked(Leaf* leaf) {
   // Preconditions: meta_mu_ and leaf->lock (exclusive) held; leaf is empty
   // and is not head_.
   assert(leaf != head_ && leaf->store.size() == 0);
-  leaf->version.fetch_add(1, std::memory_order_release);  // odd: retired
+  {
+    // Retirement is the dead flag now, not version parity; the write section
+    // still advances the version by 2 so any optimistic read or cursor
+    // snapshot that straddles the removal fails its validation.
+    leafops::SeqlockWriteSection ws(&leaf->version);
+    leaf->dead.store(true, std::memory_order_release);
+  }
   const std::string& a = leaf->anchor;
   std::vector<uint32_t> states(a.size() + 1);
   states[0] = kCrc32cInit;
@@ -1703,8 +1829,9 @@ void Wormhole::RemoveLeafLocked(Leaf* leaf) {
     lnext->prev.store(lprev, std::memory_order_release);
   }
   // The leaf is unreachable for new readers; in-flight ones still holding it
-  // see the odd version and retry. Freed after the grace period (the caller's
-  // own quiescent report comes after it releases leaf->lock).
+  // see the dead flag (or the advanced version) and retry. Freed after the
+  // grace period (the caller's own quiescent report comes after it releases
+  // leaf->lock).
   qsbr_->Retire(leaf);
 }
 

@@ -42,17 +42,31 @@
 // aggregate Get throughput flatlines as threads grow — the exact collapse the
 // paper's Fig. 9 exists to rule out. The wrapper is gone. Instead:
 //
-//   - Readers never take any structure-wide lock. A lookup walks the
-//     MetaTrieHT lock-free (hash-bucket lines are immutable copy-on-write
+//   - Point reads are LOCK-FREE on the fast path (seqlock-style optimistic
+//     validation; the paper's QSBR-reader claim made real). A lookup walks
+//     the MetaTrieHT lock-free (hash-bucket lines are immutable copy-on-write
 //     chains published by atomic pointer stores; trie-node fields are
-//     word-sized atomics), then takes only the target leaf's reader-writer
-//     lock and validates that the leaf still covers the key: its version
-//     counter — bumped on every structural change, odd once the leaf is
-//     retired — must be even, and the key must fall inside
-//     [anchor, next->anchor). A stale route simply retries; after a bounded
-//     number of attempts it falls back to serializing with writers.
+//     word-sized atomics), then — without touching the target leaf's lock —
+//     snapshots the leaf's version counter (must be even: odd means a writer
+//     is mid-mutation), re-checks coverage ([anchor, next->anchor)) and the
+//     dead flag, speculatively copies the matched 24-byte slot and value
+//     bytes out of the leaf slab through relaxed atomic loads, issues an
+//     acquire fence, and re-reads the version. An unchanged even version
+//     proves no writer overlapped the copy, so the bytes are a consistent
+//     snapshot; any change discards the copy and retries. After
+//     Options::optimistic_retries failed attempts (or on a dead/moved leaf)
+//     the read falls back to the shared-lock path below, so readers cannot
+//     livelock under write storms. The fast path performs zero atomic RMW:
+//     no reader-count cache line bounces between cores.
+//   - The locked fallback (also the cursor positioning path) takes the target
+//     leaf's reader-writer lock, validates coverage, and retries a stale
+//     route; after a bounded number of attempts it serializes with writers.
 //   - In-leaf writes (update / insert with room / non-emptying delete) take
-//     only that leaf's lock.
+//     only that leaf's lock, and bracket every store mutation in a seqlock
+//     write section (leaf_ops.h): version goes odd, a release fence, the
+//     mutation through relaxed atomic stores, then version lands even two
+//     above where it started. Structural changes (split/removal) use the
+//     same bracket around the store swap and linkage updates.
 //   - Structural changes (leaf split, empty-leaf removal, table growth)
 //     serialize on one internal mutex — they are rare, O(items/capacity) —
 //     and publish new state with release stores. Replaced leaves, trie nodes
@@ -137,6 +151,11 @@ struct Options {
   bool count_probes = false;
   // Clamped to [4, 4096]: leaf indexes use 16-bit slot ids.
   size_t leaf_capacity = 128;
+  // Class Wormhole only: lock-free seqlock-validated Get/MultiGet attempts
+  // before a key falls back to the shared-lock read path. 0 disables the
+  // optimistic path entirely (every read locks) — the forced-fallback tests
+  // pin it there to exercise the fallback deterministically.
+  uint32_t optimistic_retries = 3;
 };
 
 struct WormholeStats {
@@ -239,6 +258,11 @@ class Wormhole {
   // The EXCLUDES(meta_mu_) on the public API is the threading contract: the
   // caller must not hold the structural mutex (each operation may acquire it
   // itself on the slow path — stale-route fallback, splits, merges).
+  //
+  // Get's fast path is the lock-free optimistic read described in the header
+  // comment; it acquires no lock and performs no atomic RMW. On a miss (or a
+  // failed speculative attempt) *value may hold scribbled bytes — consume it
+  // only when Get returns true.
   bool Get(std::string_view key, std::string* value) EXCLUDES(meta_mu_);
   void Put(std::string_view key, std::string_view value) EXCLUDES(meta_mu_);
   bool Delete(std::string_view key) EXCLUDES(meta_mu_);
@@ -261,16 +285,13 @@ class Wormhole {
   // hash probe per in-flight key and prefetches the next bucket line while
   // the other keys' probes execute, then leaf headers are prefetched before
   // the in-leaf searches run — so the batch overlaps the memory latencies a
-  // serial loop would pay back-to-back. Consecutive keys that land in the
-  // same leaf still reuse the held leaf lock (sorted batches maximize the
-  // reuse). Returns the hit count.
-  // NO_TSA: the pipeline reuses one held leaf lock across loop iterations
-  // (acquired for key i, released when key j routes elsewhere) — loop-carried
-  // lock state TSA cannot track. The protocol mirrors Get exactly and is
-  // exercised by the TSan stage.
+  // serial loop would pay back-to-back. Stage 3 serves each key with the same
+  // lock-free optimistic protocol as Get (the pipelined route is the first
+  // candidate; exhausted retries fall back to a per-key locked lookup), so
+  // the batch fast path touches no leaf lock at all. Returns the hit count.
   size_t MultiGet(const std::vector<std::string_view>& keys,
                   std::vector<std::string>* values, std::vector<uint8_t>* hits)
-      EXCLUDES(meta_mu_) NO_THREAD_SAFETY_ANALYSIS;
+      EXCLUDES(meta_mu_);
 
   // Batched Put with the same amortization: one quiescent-state report for
   // the batch, and consecutive keys hitting the same leaf reuse the held
@@ -320,6 +341,20 @@ class Wormhole {
   Leaf* AcquireLeaf(std::string_view key, Mode mode, uint32_t* kv_hash)
       NO_THREAD_SAFETY_ANALYSIS;
   static bool Covers(const Leaf* leaf, std::string_view key);
+
+  enum class SpecOutcome { kHit, kMiss, kRetry };
+  // One lock-free optimistic read attempt against a routed leaf candidate.
+  // kHit/kMiss are seqlock-validated verdicts (the leaf version held still
+  // across the speculative copy); kRetry means the snapshot was unusable —
+  // odd/changed version, dead leaf, key outside the anchor range, or an
+  // internally impossible store snapshot. On kMiss/kRetry *value may hold
+  // scribbled bytes.
+  // NO_TSA: the seqlock-reader shape (sync.h usage rules) — reads
+  // GUARDED_BY(leaf->lock) data with no lock and discards the result unless
+  // the version validates; the TSan stage exercises the race directly.
+  SpecOutcome OptimisticLeafGet(Leaf* leaf, std::string_view key,
+                                uint32_t kv_hash, std::string* value) const
+      NO_THREAD_SAFETY_ANALYSIS;
 
   // Structural writers: REQUIRES(meta_mu_) — only the *Slow paths (which
   // acquire it) and the destructor reach these.

@@ -27,8 +27,9 @@ def check(name, cond, detail=""):
         FAILURES.append(name)
 
 
-def snapshot(ycsb_e=None, fwd100=None, scale=1000, threads=4, seconds=1):
-    """Build a snapshot dict in the shape bench_snapshot.sh emits. Either
+def snapshot(ycsb_e=None, fwd100=None, read1t=None, scale=1000, threads=4,
+             seconds=1):
+    """Build a snapshot dict in the shape bench_snapshot.sh emits. Any
     metric can be omitted to simulate an old/partial snapshot."""
     benches = []
     if ycsb_e is not None:
@@ -52,6 +53,18 @@ def snapshot(ycsb_e=None, fwd100=None, scale=1000, threads=4, seconds=1):
                 "rows": [
                     {"label": "Wormhole", "values": [fwd100, fwd100]},
                     {"label": "Masstree", "values": [0.1, 0.1]},
+                ],
+            }],
+        })
+    if read1t is not None:
+        benches.append({
+            "bench": "fig09_scalability",
+            "sections": [{
+                "title": "Get Mops by thread count",
+                "cols": ["1T", "2T"],
+                "rows": [
+                    {"label": "Wormhole", "values": [read1t, read1t * 1.8]},
+                    {"label": "Masstree", "values": [0.5, 0.9]},
                 ],
             }],
         })
@@ -123,6 +136,24 @@ with tempfile.TemporaryDirectory() as root:
     check("baseline gap is skipped", code == 0
           and "fig18-fwd-100: baseline has no value" in out,
           f"(exit {code}, out {out!r}, err {err!r})")
+
+    print("[compare fig09 read metric]")
+    # The 1-thread Get number gates like the scan metrics: exact cell value
+    # (not a mean), Wormhole row, "1T" column.
+    base3 = write(root, "base_read.json",
+                  snapshot(ycsb_e=10.0, fwd100=2.0, read1t=3.0))
+    cur = write(root, "cur_read_ok.json",
+                snapshot(ycsb_e=10.0, fwd100=2.0, read1t=2.9))
+    code, out, err = run("compare", base3, cur)
+    check("read metric within threshold exits 0", code == 0
+          and "fig09-read-1t: current 2.9000 vs baseline 3.0000" in out,
+          f"(exit {code}, out {out!r}, err {err!r})")
+    cur = write(root, "cur_read_bad.json",
+                snapshot(ycsb_e=10.0, fwd100=2.0, read1t=1.5))
+    code, out, err = run("compare", base3, cur)
+    check("read regression exits 1", code == 1
+          and "fig09-read-1t" in err and "dropped 50.0%" in err,
+          f"(exit {code}, stderr {err!r})")
 
     print("[compare custom threshold]")
     # 10% drop passes the default 0.7 gate but fails --threshold 0.95.

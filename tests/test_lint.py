@@ -262,6 +262,71 @@ int f() {
 }
 """)
 
+# --- seqlock-order ----------------------------------------------------------
+
+case("seqlock-order")
+
+# Explicit order, so only seqlock-order can fire: the access is outside the
+# two home files.
+BAD_SEQLOCK_FOREIGN = """#include <atomic>
+struct Leaf { std::atomic<unsigned long> version{0}; };
+unsigned long f(Leaf* l) {
+  return l->version.load(std::memory_order_acquire);
+}
+"""
+expect_fires("version access outside home files", "src/core/x.cc",
+             BAD_SEQLOCK_FOREIGN, "seqlock-order")
+
+expect_fires("version access in tests/ too", "tests/x.cc",
+             BAD_SEQLOCK_FOREIGN, "seqlock-order")
+
+expect_fires("implicit order inside wormhole.cc", "src/core/wormhole.cc",
+             """#include <atomic>
+struct Leaf { std::atomic<unsigned long> version{0}; };
+unsigned long f(Leaf* l) { return l->version.load(); }
+""", "seqlock-order")
+
+expect_clean("explicit order inside wormhole.cc", "src/core/wormhole.cc",
+             """#include <atomic>
+struct Leaf { std::atomic<unsigned long> version{0}; };
+unsigned long f(Leaf* l) {
+  return l->version.load(std::memory_order_relaxed);
+}
+""")
+
+expect_fires("operator form banned even in a home file", "src/core/wormhole.cc",
+             """#include <atomic>
+struct Leaf { std::atomic<unsigned long> version{0}; };
+void f(Leaf* l) { l->version += 2; }
+""", "seqlock-order")
+
+expect_clean("helper handoff by address is sanctioned", "src/core/x.cc",
+             """#include <atomic>
+struct Leaf { std::atomic<unsigned long> version{0}; };
+struct Section { explicit Section(std::atomic<unsigned long>*); };
+void f(Leaf* l) { Section ws(&l->version); }
+""")
+
+expect_clean("mention in comment is fine", "src/core/x.cc",
+             "// readers snapshot version.load(std::memory_order_acquire)\n")
+
+expect_clean("unrelated member name does not match", "src/core/x.cc",
+             """#include <atomic>
+struct C { unsigned long leaf_version_ = 0; };
+void f(C* c) { c->leaf_version_ = 7; }
+""")
+
+expect_clean("inline waiver", "src/core/x.cc", """#include <atomic>
+struct Leaf { std::atomic<unsigned long> version{0}; };
+unsigned long f(Leaf* l) {
+  // lint:allow(seqlock-order): fixture demonstrating the waiver syntax
+  return l->version.load(std::memory_order_acquire);
+}
+""")
+
+expect_clean("allowlist", "src/core/x.cc", BAD_SEQLOCK_FOREIGN,
+             ["seqlock-order|src/core/x.cc|l->version.load"])
+
 # --- multiple rules at once -------------------------------------------------
 
 case("combined")
