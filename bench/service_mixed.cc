@@ -10,12 +10,19 @@
 //
 // Keys are drawn uniformly from the preloaded Az1 keyset, so Deletes hit and
 // re-Puts restore; scans start at a random key and cross shard boundaries.
+// A second section repeats the grid in durable mode (per-shard WAL, group
+// commit riding each shard sub-batch, fsync=always) — the measured cost of
+// crash durability over the identical workload. It prints AFTER the WAL-off
+// section so the regression gate's YCSB-E reference column is unchanged.
+#include <unistd.h>
+
 #include <atomic>
 #include <string>
 #include <vector>
 
 #include "bench/common.h"
 #include "src/common/rng.h"
+#include "src/durability/fault_file.h"
 #include "src/net/herd_sim.h"
 #include "src/server/service.h"
 
@@ -106,5 +113,35 @@ int main(int argc, char** argv) {
     }
     wh::PrintRow("S=" + std::to_string(router.shard_count()), row);
   }
+
+  wh::PrintHeader(
+      "Sharded service, durable mode (per-shard WAL group commit, "
+      "fsync=always): mixed-workload throughput (MOPS), batch=" +
+          std::to_string(kBatchSize) + ", keyset Az1, " +
+          std::to_string(env.threads) + " threads",
+      cols);
+  const std::string wal_root = "/tmp/wh_service_mixed_wal." +
+                               std::to_string(static_cast<long>(::getpid()));
+  for (const size_t shards : {1, 2, 4, 8}) {
+    const wh::ShardRouter router = wh::ShardRouter::FromSamples(samples, shards);
+    std::vector<double> row;
+    for (const Mix& mix : kMixes) {
+      const std::string dir =
+          wal_root + "/S" + std::to_string(shards) + "-" + mix.name;
+      static_cast<void>(wh::durability::Fs::Default()->RemoveAll(dir));
+      wh::ServiceOptions opt;
+      opt.durability.enabled = true;
+      opt.durability.dir = dir;
+      {
+        wh::Service service(opt, router);
+        wh::LoadService(&service, keys);
+        row.push_back(
+            ServiceThroughput(&service, keys, mix, env.threads, env.seconds));
+      }
+      static_cast<void>(wh::durability::Fs::Default()->RemoveAll(dir));
+    }
+    wh::PrintRow("S=" + std::to_string(router.shard_count()) + "+wal", row);
+  }
+  static_cast<void>(wh::durability::Fs::Default()->RemoveAll(wal_root));
   return 0;
 }

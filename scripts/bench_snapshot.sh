@@ -48,14 +48,28 @@ export WH_BENCH_SECONDS="${WH_BENCH_SECONDS:-0.1}"
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${BENCHES[@]}" >/dev/null
 
+# Provenance: which commit produced these numbers, with which compiler, on
+# how many cores. A baseline diff that crosses any of these is comparing
+# different experiments, and the snapshot should say so on its face.
+GIT_SHA="$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)"
+if [[ "$GIT_SHA" != unknown ]] && ! git diff --quiet HEAD -- 2>/dev/null; then
+  GIT_SHA="${GIT_SHA}-dirty"
+fi
+COMPILER="unknown"
+CXX_PATH="$(sed -n 's/^CMAKE_CXX_COMPILER:[^=]*=//p' \
+  "$BUILD_DIR/CMakeCache.txt" 2>/dev/null | head -n1)"
+if [[ -n "$CXX_PATH" && -x "$CXX_PATH" ]]; then
+  COMPILER="$("$CXX_PATH" --version 2>/dev/null | head -n1)"
+fi
+
 # Assemble in a temp file and move into place only after validation, so a
 # truncated bench run never leaves a broken baseline behind.
 TMP="$(mktemp "$OUT.XXXXXX")"
 trap 'rm -f "$TMP"' EXIT
 {
-  printf '{"date":"%s","nproc":%s,"scale":%s,"threads":%s,"seconds":%s,"benches":[' \
-    "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$(nproc)" \
-    "$WH_BENCH_SCALE" "$WH_BENCH_THREADS" "$WH_BENCH_SECONDS"
+  printf '{"date":"%s","git_sha":"%s","compiler":"%s","nproc":%s,"scale":%s,"threads":%s,"seconds":%s,"benches":[' \
+    "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$GIT_SHA" "${COMPILER//\"/\\\"}" \
+    "$(nproc)" "$WH_BENCH_SCALE" "$WH_BENCH_THREADS" "$WH_BENCH_SECONDS"
   sep=""
   for bench in "${BENCHES[@]}"; do
     printf '%s' "$sep"

@@ -3,16 +3,18 @@
 # over everything, ThreadSanitizer over the concurrency-sensitive tests
 # (QSBR, the concurrent Wormhole, and the sharded service), UBSan over the
 # full unit suite, clang-tidy + Clang Thread Safety Analysis as the
-# compile-time complement (see README.md "Static analysis"), and the
-# repo-specific concurrency lint.
+# compile-time complement (see README.md "Static analysis"), the
+# repo-specific concurrency lint, and a crash stage that reruns the
+# fault-injected recovery suite under ASan with a larger randomized
+# kill-point budget than the release run.
 #
 #   scripts/check.sh                  # release + full ctest, ASan, TSan,
-#                                     # ubsan, bench-smoke, bench-regress,
-#                                     # lint, tidy, format
+#                                     # ubsan, crash, bench-smoke,
+#                                     # bench-regress, lint, tidy, format
 #   scripts/check.sh --fast           # release unit tests only (no bench builds)
 #   scripts/check.sh --ci             # non-interactive; per-stage timing lines
 #   scripts/check.sh --stage <name>   # one stage:
-#                                     # release|asan|tsan|ubsan|tidy|lint|
+#                                     # release|asan|tsan|ubsan|crash|tidy|lint|
 #                                     # bench-smoke|bench-regress|format|all
 #
 # The CI matrix (.github/workflows/ci.yml) runs one --stage per job so the
@@ -38,7 +40,7 @@ while [[ $# -gt 0 ]]; do
     --fast) FAST=1 ;;
     --ci) CI=1 ;;
     --stage)
-      STAGE="${2:?--stage needs release|asan|tsan|ubsan|tidy|lint|bench-smoke|bench-regress|format|all}"
+      STAGE="${2:?--stage needs release|asan|tsan|ubsan|crash|tidy|lint|bench-smoke|bench-regress|format|all}"
       shift
       ;;
     *)
@@ -54,8 +56,8 @@ JOBS="$(nproc)"
 CTEST_FLAGS=(--output-on-failure -j "$JOBS")
 # --fast runs only unit tests, so it must not pay for the 13 bench binaries.
 TEST_TARGETS=(test_index_correctness test_cursor test_leaf_ops test_qsbr
-              test_keysets test_service test_scan_fastpath
-              test_wormhole_concurrent)
+              test_keysets test_service test_crc32c test_recovery
+              test_scan_fastpath test_wormhole_concurrent)
 
 STAGE_T0=0
 stage_begin() {
@@ -111,8 +113,24 @@ run_tsan() {
   stage_end "tsan build"
   stage_begin "tsan: ctest (concurrent tests)"
   ctest --test-dir build-tsan "${CTEST_FLAGS[@]}" \
-    -R 'test_(wormhole_concurrent|qsbr|service|scan_fastpath)'
+    -R 'test_(wormhole_concurrent|qsbr|service|scan_fastpath|recovery)'
   stage_end "tsan ctest"
+}
+
+run_crash() {
+  stage_begin "crash: fault-injected recovery suite under ASan"
+  # The release ctest already runs test_recovery once at its default budget;
+  # this stage is the deep soak: the same kill-and-recover differential and
+  # torn-tail sweep, under ASan (recovery paths touch freshly parsed,
+  # attacker-shaped bytes — exactly where a one-byte overread hides), with
+  # many more randomized crash points than the default run.
+  cmake -B build-asan -S . -DWH_ASAN=ON >/dev/null
+  cmake --build build-asan -j "$JOBS" --target test_recovery
+  stage_end "crash build"
+  stage_begin "crash: ctest (WH_RECOVERY_KILL_POINTS=200)"
+  WH_RECOVERY_KILL_POINTS=200 \
+    ctest --test-dir build-asan "${CTEST_FLAGS[@]}" -R 'test_recovery'
+  stage_end "crash ctest"
 }
 
 run_ubsan() {
@@ -254,6 +272,7 @@ case "$STAGE" in
   asan) run_asan ;;
   tsan) run_tsan ;;
   ubsan) run_ubsan ;;
+  crash) run_crash ;;
   tidy) run_tidy ;;
   lint) run_lint ;;
   bench-smoke) run_bench_smoke ;;
@@ -267,6 +286,7 @@ case "$STAGE" in
     run_asan
     run_tsan
     run_ubsan
+    run_crash
     run_bench_smoke
     run_bench_regress
     run_lint
@@ -274,7 +294,7 @@ case "$STAGE" in
     run_format
     ;;
   *)
-    echo "unknown stage '$STAGE' (release|asan|tsan|ubsan|tidy|lint|bench-smoke|bench-regress|format|all)" >&2
+    echo "unknown stage '$STAGE' (release|asan|tsan|ubsan|crash|tidy|lint|bench-smoke|bench-regress|format|all)" >&2
     exit 2
     ;;
 esac

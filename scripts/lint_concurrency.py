@@ -27,6 +27,14 @@ Rules (each also documented in README.md "Static analysis"):
                    construct std::string (allocation + copy on paths whose
                    whole point is to avoid both). string_view is fine.
 
+  raw-io           Inside src/durability/, no direct file I/O — POSIX calls
+                   (open/write/fsync/rename/...), stdio (fopen/fwrite/...),
+                   or std::ofstream/std::filesystem. Every persisted byte
+                   must move through the fault-injectable Fs layer
+                   (src/durability/fault_file.{h,cc}, the rule's home files)
+                   so the crash tests can intercept it; a direct call is a
+                   hole in the fault-injection coverage.
+
   seqlock-order    The leaf `version` seqlock counter has exactly one legal
                    protocol (odd/even write sections, acquire-validated
                    reads), implemented by the helpers in src/core/leaf_ops.h
@@ -70,7 +78,25 @@ ATOMIC_CALLS = (
 )
 
 RULES = ("atomic-order", "qsbr-free", "raw-mutex", "hot-path-string",
-         "seqlock-order")
+         "seqlock-order", "raw-io")
+
+# The only files allowed to issue raw file I/O: the fault-injection choke
+# point itself.
+RAW_IO_HOME_FILES = ("src/durability/fault_file.h",
+                     "src/durability/fault_file.cc")
+
+# Bare (or ::-qualified) calls to POSIX/stdio file primitives. The lookbehind
+# rejects member calls (x.read(...)) and std::-qualified names — those are
+# matched by RAW_IO_STD_RE instead.
+RAW_IO_CALL_RE = re.compile(
+    r"(?<![\w.>])(?:::\s*)?\b(?:open|openat|creat|write|pwrite|writev|read|"
+    r"pread|fsync|fdatasync|close|rename|renameat|unlink|unlinkat|ftruncate|"
+    r"truncate|mkdir|rmdir|opendir|readdir|closedir|fopen|fclose|fwrite|"
+    r"fread|fflush)\s*\(")
+
+RAW_IO_STD_RE = re.compile(
+    r"std::(?:ofstream|ifstream|fstream|filesystem\b|fopen|fwrite|fread|"
+    r"fflush|remove\s*\(|rename\s*\()")
 
 # Files allowed to touch the seqlock counter directly: the helper layer and
 # the one translation unit that brackets mutations / validates reads with it.
@@ -244,6 +270,9 @@ class Linter:
             self.check_atomic_order(relpath, code, code_lines, raw_lines)
         if in_core:
             self.check_qsbr_free(relpath, code_lines, raw_lines)
+        if (relpath.startswith("src/durability/")
+                and relpath not in RAW_IO_HOME_FILES):
+            self.check_raw_io(relpath, code_lines, raw_lines)
         self.check_hot_path_string(relpath, raw_lines, code_lines)
         self.check_seqlock_order(relpath, code, code_lines, raw_lines)
 
@@ -320,6 +349,15 @@ class Linter:
                     "seqlock-order", relpath, idx + 1, raw_lines,
                     "operator form on the leaf seqlock counter; mutations "
                     "must go through leafops::SeqlockWriteSection")
+
+    def check_raw_io(self, relpath, code_lines, raw_lines):
+        for idx, line in enumerate(code_lines):
+            if RAW_IO_CALL_RE.search(line) or RAW_IO_STD_RE.search(line):
+                self.report(
+                    "raw-io", relpath, idx + 1, raw_lines,
+                    "direct file I/O in src/durability; all persisted bytes "
+                    "must go through the fault-injectable Fs layer "
+                    "(fault_file.h)")
 
     def check_qsbr_free(self, relpath, code_lines, raw_lines):
         for idx, line in enumerate(code_lines):

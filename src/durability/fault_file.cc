@@ -1,0 +1,423 @@
+// The ONLY file under src/durability/ that may touch raw I/O syscalls — the
+// `raw-io` lint rule (scripts/lint_concurrency.py) holds every other file to
+// the Fs/AppendFile API so fault injection can interpose on all of it.
+#include "src/durability/fault_file.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace wh::durability {
+
+namespace {
+
+Status ErrnoStatus(const char* what, const std::string& path) {
+  return Status::Error(std::string(what) + " " + path + ": " +
+                       std::strerror(errno));
+}
+
+Status InjectedCrash(const char* what, const std::string& path) {
+  return Status::Error(std::string("injected crash: ") + what + " " + path);
+}
+
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) {
+    return ".";
+  }
+  if (slash == 0) {
+    return "/";
+  }
+  return path.substr(0, slash);
+}
+
+int OpenRetry(const char* path, int flags, mode_t mode) {
+  int fd = -1;
+  do {
+    fd = ::open(path, flags, mode);  // NOLINT(cppcoreguidelines-pro-type-vararg)
+  } while (fd < 0 && errno == EINTR);
+  return fd;
+}
+
+Status WriteFully(int fd, const char* data, size_t n,
+                  const std::string& path) {
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t w = ::write(fd, data + done, n - done);
+    if (w < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return ErrnoStatus("write", path);
+    }
+    done += static_cast<size_t>(w);
+  }
+  return Status();
+}
+
+Status FsyncFd(int fd, const std::string& path) {
+  int rc = -1;
+  do {
+    rc = ::fsync(fd);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    return ErrnoStatus("fsync", path);
+  }
+  return Status();
+}
+
+void CloseFd(int fd) {
+  // POSIX leaves the fd state unspecified on EINTR from close; retrying is
+  // wrong on Linux (the fd is gone either way), so close once and move on.
+  ::close(fd);
+}
+
+}  // namespace
+
+uint64_t FaultPlan::AdmitWrite(uint64_t want) {
+  ScopedLock g(mu_);
+  if (crashed_) {
+    return 0;
+  }
+  if (write_budget_ < 0) {
+    return want;
+  }
+  const auto budget = static_cast<uint64_t>(write_budget_);
+  if (want <= budget) {
+    write_budget_ -= static_cast<int64_t>(want);
+    return want;
+  }
+  // This write crosses the kill point: persist the prefix, then die.
+  write_budget_ = 0;
+  crashed_ = true;
+  return budget;
+}
+
+bool FaultPlan::AdmitSync() {
+  ScopedLock g(mu_);
+  if (crashed_) {
+    return false;
+  }
+  if (sync_budget_ < 0) {
+    return true;
+  }
+  if (sync_budget_ == 0) {
+    return false;
+  }
+  sync_budget_--;
+  return true;
+}
+
+bool FaultPlan::AdmitMutation() {
+  ScopedLock g(mu_);
+  return !crashed_;
+}
+
+AppendFile::~AppendFile() { Close(); }
+
+Status AppendFile::Append(std::string_view data) {
+  if (fd_ < 0) {
+    return Status::Error("append to closed file " + path_);
+  }
+  uint64_t allow = data.size();
+  if (plan_ != nullptr) {
+    if (!plan_->AdmitMutation()) {
+      return InjectedCrash("append to", path_);
+    }
+    allow = plan_->AdmitWrite(data.size());
+  }
+  const Status st = WriteFully(fd_, data.data(), allow, path_);
+  if (!st.ok()) {
+    return st;
+  }
+  size_ += allow;
+  if (allow < data.size()) {
+    return InjectedCrash("short write to", path_);
+  }
+  return Status();
+}
+
+Status AppendFile::Sync() {
+  if (fd_ < 0) {
+    return Status::Error("sync of closed file " + path_);
+  }
+  if (plan_ != nullptr) {
+    if (!plan_->AdmitMutation()) {
+      return InjectedCrash("sync of", path_);
+    }
+    if (!plan_->AdmitSync()) {
+      return Status::Error("injected fsync failure: " + path_);
+    }
+  }
+  return FsyncFd(fd_, path_);
+}
+
+Status AppendFile::Close() {
+  if (fd_ < 0) {
+    return Status();
+  }
+  CloseFd(fd_);
+  fd_ = -1;
+  return Status();
+}
+
+Fs* Fs::Default() {
+  static Fs fs;
+  return &fs;
+}
+
+Status Fs::MkDirs(const std::string& path) {
+  if (plan_ != nullptr && !plan_->AdmitMutation()) {
+    return InjectedCrash("mkdir", path);
+  }
+  // Walk the components left to right; EEXIST at any level is fine.
+  size_t pos = 0;
+  while (pos <= path.size()) {
+    size_t slash = path.find('/', pos + 1);
+    if (slash == std::string::npos) {
+      slash = path.size();
+    }
+    const std::string prefix = path.substr(0, slash);
+    if (!prefix.empty() && ::mkdir(prefix.c_str(), 0755) != 0 &&
+        errno != EEXIST) {
+      return ErrnoStatus("mkdir", prefix);
+    }
+    if (slash == path.size()) {
+      break;
+    }
+    pos = slash;
+  }
+  return Status();
+}
+
+std::unique_ptr<AppendFile> Fs::OpenAppend(const std::string& path,
+                                           Status* status) {
+  if (plan_ != nullptr && !plan_->AdmitMutation()) {
+    *status = InjectedCrash("open", path);
+    return nullptr;
+  }
+  const int fd =
+      OpenRetry(path.c_str(), O_CREAT | O_WRONLY | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    *status = ErrnoStatus("open", path);
+    return nullptr;
+  }
+  struct stat sb = {};
+  if (::fstat(fd, &sb) != 0) {
+    *status = ErrnoStatus("fstat", path);
+    CloseFd(fd);
+    return nullptr;
+  }
+  *status = Status();
+  return std::unique_ptr<AppendFile>(
+      new AppendFile(fd, path, plan_, static_cast<uint64_t>(sb.st_size)));
+}
+
+std::unique_ptr<AppendFile> Fs::OpenTrunc(const std::string& path,
+                                          Status* status) {
+  if (plan_ != nullptr && !plan_->AdmitMutation()) {
+    *status = InjectedCrash("open", path);
+    return nullptr;
+  }
+  const int fd =
+      OpenRetry(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    *status = ErrnoStatus("open", path);
+    return nullptr;
+  }
+  *status = Status();
+  return std::unique_ptr<AppendFile>(new AppendFile(fd, path, plan_, 0));
+}
+
+Status Fs::ReadFile(const std::string& path, std::string* out) const {
+  out->clear();
+  const int fd = OpenRetry(path.c_str(), O_RDONLY | O_CLOEXEC, 0);
+  if (fd < 0) {
+    return ErrnoStatus("open", path);
+  }
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      const Status st = ErrnoStatus("read", path);
+      CloseFd(fd);
+      return st;
+    }
+    if (r == 0) {
+      break;
+    }
+    out->append(buf, static_cast<size_t>(r));
+  }
+  CloseFd(fd);
+  return Status();
+}
+
+Status Fs::WriteFile(const std::string& path, std::string_view data) {
+  Status st;
+  std::unique_ptr<AppendFile> f = OpenTrunc(path, &st);
+  if (f == nullptr) {
+    return st;
+  }
+  st = f->Append(data);
+  if (!st.ok()) {
+    return st;
+  }
+  st = f->Sync();
+  if (!st.ok()) {
+    return st;
+  }
+  return f->Close();
+}
+
+Status Fs::Rename(const std::string& from, const std::string& to) {
+  if (plan_ != nullptr && !plan_->AdmitMutation()) {
+    return InjectedCrash("rename", from);
+  }
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    return ErrnoStatus("rename", from + " -> " + to);
+  }
+  return SyncDir(ParentDir(to));
+}
+
+Status Fs::RemoveFile(const std::string& path) {
+  if (plan_ != nullptr && !plan_->AdmitMutation()) {
+    return InjectedCrash("unlink", path);
+  }
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return ErrnoStatus("unlink", path);
+  }
+  return Status();
+}
+
+Status Fs::Truncate(const std::string& path, uint64_t size) {
+  if (plan_ != nullptr && !plan_->AdmitMutation()) {
+    return InjectedCrash("truncate", path);
+  }
+  const int fd = OpenRetry(path.c_str(), O_WRONLY | O_CLOEXEC, 0);
+  if (fd < 0) {
+    return ErrnoStatus("open", path);
+  }
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    const Status st = ErrnoStatus("ftruncate", path);
+    CloseFd(fd);
+    return st;
+  }
+  Status st;
+  if (plan_ != nullptr && !plan_->AdmitSync()) {
+    st = Status::Error("injected fsync failure: " + path);
+  } else {
+    st = FsyncFd(fd, path);
+  }
+  CloseFd(fd);
+  return st;
+}
+
+Status Fs::SyncDir(const std::string& path) {
+  if (plan_ != nullptr) {
+    if (!plan_->AdmitMutation()) {
+      return InjectedCrash("sync of directory", path);
+    }
+    if (!plan_->AdmitSync()) {
+      return Status::Error("injected fsync failure: " + path);
+    }
+  }
+  const int fd = OpenRetry(path.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC, 0);
+  if (fd < 0) {
+    return ErrnoStatus("open directory", path);
+  }
+  const Status st = FsyncFd(fd, path);
+  CloseFd(fd);
+  return st;
+}
+
+Status Fs::ListDir(const std::string& path,
+                   std::vector<std::string>* names) const {
+  names->clear();
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) {
+    return ErrnoStatus("opendir", path);
+  }
+  for (;;) {
+    errno = 0;
+    const struct dirent* ent = ::readdir(dir);
+    if (ent == nullptr) {
+      if (errno != 0) {
+        const Status st = ErrnoStatus("readdir", path);
+        ::closedir(dir);
+        return st;
+      }
+      break;
+    }
+    const std::string name = ent->d_name;
+    if (name == "." || name == "..") {
+      continue;
+    }
+    struct stat sb = {};
+    if (::lstat((path + "/" + name).c_str(), &sb) == 0 && S_ISREG(sb.st_mode)) {
+      names->push_back(name);
+    }
+  }
+  ::closedir(dir);
+  std::sort(names->begin(), names->end());
+  return Status();
+}
+
+bool Fs::Exists(const std::string& path) const {
+  struct stat sb = {};
+  return ::lstat(path.c_str(), &sb) == 0;
+}
+
+Status Fs::RemoveAll(const std::string& path) {
+  if (plan_ != nullptr && !plan_->AdmitMutation()) {
+    return InjectedCrash("remove", path);
+  }
+  struct stat sb = {};
+  if (::lstat(path.c_str(), &sb) != 0) {
+    return Status();  // already gone
+  }
+  if (!S_ISDIR(sb.st_mode)) {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return ErrnoStatus("unlink", path);
+    }
+    return Status();
+  }
+  std::vector<std::string> entries;
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) {
+    return ErrnoStatus("opendir", path);
+  }
+  for (;;) {
+    errno = 0;
+    const struct dirent* ent = ::readdir(dir);
+    if (ent == nullptr) {
+      break;
+    }
+    const std::string name = ent->d_name;
+    if (name != "." && name != "..") {
+      entries.push_back(name);
+    }
+  }
+  ::closedir(dir);
+  for (const std::string& name : entries) {
+    const Status st = RemoveAll(path + "/" + name);
+    if (!st.ok()) {
+      return st;
+    }
+  }
+  if (::rmdir(path.c_str()) != 0 && errno != ENOENT) {
+    return ErrnoStatus("rmdir", path);
+  }
+  return Status();
+}
+
+}  // namespace wh::durability

@@ -5,18 +5,75 @@
 namespace wh {
 
 Service::Service(const ServiceOptions& opt, ShardRouter router)
-    : router_(std::move(router)) {
-  shards_.resize(router_.shard_count());
-  for (Shard& s : shards_) {
-    s.qsbr = std::make_unique<Qsbr>();
-    s.index = std::make_unique<Wormhole>(opt.index, s.qsbr.get());
+    : router_(std::move(router)), dur_(opt.durability) {
+  if (dur_.enabled && dur_.fs == nullptr) {
+    dur_.fs = durability::Fs::Default();
+  }
+  shards_.reserve(router_.shard_count());
+  for (size_t i = 0; i < router_.shard_count(); i++) {
+    auto shard = std::make_unique<Shard>();
+    shard->qsbr = std::make_unique<Qsbr>();
+    shard->index = std::make_unique<Wormhole>(opt.index, shard->qsbr.get());
+    if (dur_.enabled) {
+      RecoverShardFromDisk(shard.get(), i);
+    }
+    shards_.push_back(std::move(shard));
   }
 }
 
-// Shard members destruct index-before-qsbr (declaration order), which is the
-// whole destruction contract; the defaulted logic just has to live here where
-// Wormhole is complete.
+// Shard members destruct wal-before-index-before-qsbr (reverse declaration
+// order): the WAL's destructor issues its best-effort shutdown sync while
+// the index is still alive, and the index drains into its qsbr domain last.
 Service::~Service() = default;
+
+// Runs on the constructor thread, before any Execute() can exist, so the
+// direct index->Put/Delete calls need no wal_mu and the final applied_seq
+// store needs no ordering partner. A failure leaves the shard constructed
+// but failed (fail-stop from the first request on).
+void Service::RecoverShardFromDisk(Shard* shard, size_t shard_index) {
+  shard->dir = dur_.dir + "/shard-" + std::to_string(shard_index);
+  durability::Status st = dur_.fs->MkDirs(shard->dir);
+  durability::RecoverStats stats;
+  if (st.ok()) {
+    st = durability::RecoverShard(
+        dur_.fs, shard->dir,
+        [&](durability::WalOp op, std::string_view key,
+            std::string_view value) {
+          if (op == durability::WalOp::kPut) {
+            shard->index->Put(key, value);
+          } else {
+            shard->index->Delete(key);
+          }
+        },
+        &stats);
+  }
+  if (st.ok()) {
+    durability::Status open_st;
+    shard->wal =
+        durability::Wal::Open(dur_.fs, shard->dir, dur_.wal, &open_st);
+    if (shard->wal == nullptr) {
+      st = open_st;
+    } else {
+      // The log continues exactly where the recovered history ends; any
+      // other next_seq means segments were lost out from under the snapshot.
+      const uint64_t recovered = std::max(stats.snapshot_seq, stats.last_seq);
+      if (shard->wal->next_seq() != recovered + 1) {
+        st = durability::Status::Error(
+            "WAL/snapshot sequence mismatch in " + shard->dir +
+            ": recovered history ends at seq " + std::to_string(recovered) +
+            " but the log would continue at seq " +
+            std::to_string(shard->wal->next_seq()));
+      } else {
+        shard->applied_seq.store(recovered, std::memory_order_release);
+      }
+    }
+  }
+  if (!st.ok()) {
+    ScopedLock g(shard->wal_mu);
+    shard->first_error = st;
+    shard->failed.store(true, std::memory_order_release);
+  }
+}
 
 void Service::Execute(const std::vector<Request>& batch,
                       std::vector<Response>* responses) {
@@ -48,11 +105,7 @@ void Service::Execute(const std::vector<Request>& batch,
     }
   }
 
-  // Scratch reused across runs to keep per-batch allocation flat.
-  std::vector<std::string_view> keys;
-  std::vector<std::string> values;
-  std::vector<uint8_t> hits;
-  std::vector<std::pair<std::string_view, std::string_view>> puts;
+  ExecScratch scratch;
   // One cursor per shard, opened on the first scan that touches the shard
   // and reused (window buffers, epoch pin, QSBR slot and all) by every later
   // scan in this batch — repositioning an existing cursor re-routes freshly,
@@ -64,51 +117,124 @@ void Service::Execute(const std::vector<Request>& batch,
   for (size_t s = 0; s < shards_.size(); s++) {
     const uint32_t* idx = order.data() + offsets[s];
     const size_t idx_n = offsets[s + 1] - offsets[s];
-    Wormhole* index = shards_[s].index.get();
-    size_t i = 0;
-    while (i < idx_n) {
-      const Op op = batch[idx[i]].op;
-      // Maximal same-op run: one MultiGet/MultiPut per run amortizes the
-      // quiescent-state report and leaf-lock traffic across it.
-      size_t j = i + 1;
-      if (op == Op::kGet || op == Op::kPut) {
-        while (j < idx_n && batch[idx[j]].op == op) {
-          j++;
-        }
-      }
-      switch (op) {
-        case Op::kGet: {
-          keys.clear();
-          for (size_t k = i; k < j; k++) {
-            keys.push_back(batch[idx[k]].key);
-          }
-          index->MultiGet(keys, &values, &hits);
-          for (size_t k = i; k < j; k++) {
-            Response& r = (*responses)[idx[k]];
-            r.found = hits[k - i] != 0;
-            r.value = std::move(values[k - i]);
-          }
-          break;
-        }
-        case Op::kPut: {
-          puts.clear();
-          for (size_t k = i; k < j; k++) {
-            puts.emplace_back(batch[idx[k]].key, batch[idx[k]].value);
-            (*responses)[idx[k]].found = true;
-          }
-          index->MultiPut(puts);
-          break;
-        }
-        case Op::kDelete:
-          (*responses)[idx[i]].found = index->Delete(batch[idx[i]].key);
-          break;
-        case Op::kScan:
-        case Op::kScanRev:
-          ExecuteScan(s, batch[idx[i]], &(*responses)[idx[i]], &scan_cursors);
-          break;
-      }
-      i = j;
+    if (idx_n == 0) {
+      continue;
     }
+    if (!dur_.enabled) {
+      RunShardOps(s, batch, idx, idx_n, responses, &scratch, &scan_cursors,
+                  /*apply_mutations=*/true);
+      continue;
+    }
+    // Durable mode: collect the sub-batch's mutations in submission order
+    // and group-commit them as one WAL append before applying any of them.
+    Shard& shard = *shards_[s];
+    scratch.wal_entries.clear();
+    for (size_t k = 0; k < idx_n; k++) {
+      const Request& req = batch[idx[k]];
+      if (req.op == Op::kPut) {
+        scratch.wal_entries.push_back(
+            {durability::WalOp::kPut, req.key, req.value});
+      } else if (req.op == Op::kDelete) {
+        scratch.wal_entries.push_back(
+            {durability::WalOp::kDelete, req.key, std::string_view()});
+      }
+    }
+    if (scratch.wal_entries.empty()) {
+      // Read-only sub-batch: no ordering point needed, wal_mu untouched —
+      // the read path costs the same as WAL-off.
+      RunShardOps(s, batch, idx, idx_n, responses, &scratch, &scan_cursors,
+                  /*apply_mutations=*/true);
+      continue;
+    }
+    // wal_mu spans append AND apply: two batches may not interleave between
+    // the two, or the log's order would diverge from the index's.
+    ScopedLock wal_guard(shard.wal_mu);
+    durability::Status st;
+    uint64_t last_seq = 0;
+    if (shard.failed.load(std::memory_order_acquire)) {
+      st = shard.first_error;
+    } else {
+      st = shard.wal->AppendBatch(scratch.wal_entries.data(),
+                                  scratch.wal_entries.size(), &last_seq);
+    }
+    if (st.ok()) {
+      RunShardOps(s, batch, idx, idx_n, responses, &scratch, &scan_cursors,
+                  /*apply_mutations=*/true);
+      shard.applied_seq.store(last_seq, std::memory_order_release);
+    } else {
+      // Fail-stop: the batch's mutations were not made durable, so they are
+      // not applied either — acknowledging them would be silent data loss
+      // (the fsyncgate rule). Reads still serve.
+      if (!shard.failed.load(std::memory_order_acquire)) {
+        shard.first_error = st;
+        shard.failed.store(true, std::memory_order_release);
+      }
+      RunShardOps(s, batch, idx, idx_n, responses, &scratch, &scan_cursors,
+                  /*apply_mutations=*/false);
+    }
+  }
+}
+
+void Service::RunShardOps(size_t s, const std::vector<Request>& batch,
+                          const uint32_t* idx, size_t idx_n,
+                          std::vector<Response>* responses,
+                          ExecScratch* scratch,
+                          std::vector<std::unique_ptr<Cursor>>* scan_cursors,
+                          bool apply_mutations) {
+  Wormhole* index = shards_[s]->index.get();
+  size_t i = 0;
+  while (i < idx_n) {
+    const Op op = batch[idx[i]].op;
+    // Maximal same-op run: one MultiGet/MultiPut per run amortizes the
+    // quiescent-state report and leaf-lock traffic across it.
+    size_t j = i + 1;
+    if (op == Op::kGet || op == Op::kPut) {
+      while (j < idx_n && batch[idx[j]].op == op) {
+        j++;
+      }
+    }
+    switch (op) {
+      case Op::kGet: {
+        scratch->keys.clear();
+        for (size_t k = i; k < j; k++) {
+          scratch->keys.push_back(batch[idx[k]].key);
+        }
+        index->MultiGet(scratch->keys, &scratch->values, &scratch->hits);
+        for (size_t k = i; k < j; k++) {
+          Response& r = (*responses)[idx[k]];
+          r.found = scratch->hits[k - i] != 0;
+          r.value = std::move(scratch->values[k - i]);
+        }
+        break;
+      }
+      case Op::kPut: {
+        if (!apply_mutations) {
+          for (size_t k = i; k < j; k++) {
+            (*responses)[idx[k]].ok = false;
+          }
+          break;
+        }
+        scratch->puts.clear();
+        for (size_t k = i; k < j; k++) {
+          scratch->puts.emplace_back(batch[idx[k]].key, batch[idx[k]].value);
+          (*responses)[idx[k]].found = true;
+        }
+        index->MultiPut(scratch->puts);
+        break;
+      }
+      case Op::kDelete:
+        if (!apply_mutations) {
+          (*responses)[idx[i]].ok = false;
+          break;
+        }
+        (*responses)[idx[i]].found = index->Delete(batch[idx[i]].key);
+        break;
+      case Op::kScan:
+      case Op::kScanRev:
+        ExecuteScan(s, batch[idx[i]], &(*responses)[idx[i]], scan_cursors);
+        break;
+    }
+    i = j;
   }
 }
 
@@ -151,7 +277,7 @@ void Service::ExecuteScan(size_t first_shard, const Request& req,
   for (size_t i = 0; i < candidates && resp->items.size() < limit; i++) {
     const size_t s = reverse ? first_shard - i : first_shard + i;
     if ((*cursors)[s] == nullptr) {
-      (*cursors)[s] = shards_[s].index->NewCursor();
+      (*cursors)[s] = shards_[s]->index->NewCursor();
     }
     Cursor* c = (*cursors)[s].get();
     c->SetScanLimitHint(limit - resp->items.size());
@@ -174,11 +300,60 @@ void Service::ExecuteScan(size_t first_shard, const Request& req,
   }
 }
 
+durability::Status Service::Checkpoint() {
+  ScopedReadLock topo(topo_mu_);
+  if (!dur_.enabled) {
+    return durability::Status::Error("Checkpoint: durability not enabled");
+  }
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    if (shard.failed.load(std::memory_order_acquire)) {
+      ScopedLock g(shard.wal_mu);
+      return shard.first_error;
+    }
+    // Floor, then sweep: applied_seq is release-stored AFTER a batch's
+    // mutations are applied, so every record <= floor is visible to a
+    // cursor opened now. Concurrent writes with seq > floor may leak into
+    // the sweep — harmless, the snapshot is fuzzy by contract (snapshot.h)
+    // and replay from floor+1 converges it.
+    const uint64_t floor = shard.applied_seq.load(std::memory_order_acquire);
+    durability::SnapshotStats stats;
+    durability::Status st;
+    {
+      // The sweep runs WITHOUT wal_mu: writers keep committing while the
+      // snapshot is written. Only the log truncation below serializes.
+      std::unique_ptr<Cursor> cursor = shard.index->NewCursor();
+      st = durability::WriteSnapshot(dur_.fs, shard.dir, floor, cursor.get(),
+                                     &stats);
+    }
+    if (!st.ok()) {
+      return st;  // WAL is untouched; the shard stays healthy
+    }
+    ScopedLock g(shard.wal_mu);
+    st = shard.wal->TruncateBefore(floor + 1);
+    if (!st.ok()) {
+      return st;
+    }
+  }
+  return durability::Status();
+}
+
+durability::Status Service::durability_status() const {
+  ScopedReadLock topo(topo_mu_);
+  for (const auto& shard : shards_) {
+    if (shard->failed.load(std::memory_order_acquire)) {
+      ScopedLock g(shard->wal_mu);
+      return shard->first_error;
+    }
+  }
+  return durability::Status();
+}
+
 size_t Service::size() const {
   ScopedReadLock topo(topo_mu_);
   size_t total = 0;
-  for (const Shard& s : shards_) {
-    total += s.index->size();
+  for (const auto& s : shards_) {
+    total += s->index->size();
   }
   return total;
 }
@@ -186,8 +361,8 @@ size_t Service::size() const {
 uint64_t Service::MemoryBytes() const {
   ScopedReadLock topo(topo_mu_);
   uint64_t total = sizeof(*this);
-  for (const Shard& s : shards_) {
-    total += sizeof(Shard) + sizeof(Qsbr) + s.index->MemoryBytes();
+  for (const auto& s : shards_) {
+    total += sizeof(Shard) + sizeof(Qsbr) + s->index->MemoryBytes();
   }
   return total;
 }

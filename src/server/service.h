@@ -33,6 +33,22 @@
 // A scan_limit of 0 is valid and returns an empty item list (no shard is
 // visited, no cursor opened).
 //
+// Durable mode (ServiceOptions::durability): each shard owns a per-shard WAL
+// (src/durability/wal.h) and a snapshot directory under durability.dir/
+// shard-<i>. Execute() group-commits a shard sub-batch's mutations as ONE
+// WAL append (+ fsync per policy) BEFORE applying them to the index, under
+// that shard's wal_mu — so the WAL's record order is exactly the apply
+// order, which is what makes replay reproduce the shard byte-for-byte. A
+// batch whose WAL append or fsync fails is NOT applied: its mutating
+// requests come back with Response::ok == false and the shard goes
+// FAIL-STOP (later mutations are refused with the first error; reads still
+// serve — memory is a superset of the durable state). The constructor
+// recovers every shard (snapshot + WAL tail; see snapshot.h) before serving,
+// and Checkpoint() publishes fresh snapshots through epoch-pinned cursor
+// sweeps while writers stay live, then truncates each WAL at its floor.
+// Read-only sub-batches never touch wal_mu, so the WAL-off read path is
+// unchanged.
+//
 // Threading contract: Execute() may be called concurrently from any number of
 // client threads — the router is immutable and each shard is a concurrent
 // Wormhole. Every shard owns a private QSBR domain, so a slow batch in one
@@ -43,6 +59,7 @@
 #ifndef WH_SRC_SERVER_SERVICE_H_
 #define WH_SRC_SERVER_SERVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -52,6 +69,9 @@
 #include "src/common/qsbr.h"
 #include "src/common/sync.h"
 #include "src/core/wormhole.h"
+#include "src/durability/fault_file.h"
+#include "src/durability/snapshot.h"
+#include "src/durability/wal.h"
 #include "src/server/shard_router.h"
 
 namespace wh {
@@ -69,14 +89,30 @@ struct Request {
 
 struct Response {
   bool found = false;  // Get: hit; Delete: key existed; Put: always true
+  // Durable mode only: false means the mutation was NOT applied because its
+  // WAL append/fsync failed (see the durable-mode contract above). Always
+  // true for reads and in non-durable mode.
+  bool ok = true;
   std::string value;   // Get hit payload
   // Scan results merged across shards into one globally ordered stream:
   // ascending from the start key for kScan, descending for kScanRev.
   std::vector<std::pair<std::string, std::string>> items;
 };
 
+struct DurabilityOptions {
+  bool enabled = false;
+  // Root directory; shard i persists under <dir>/shard-<i>. Created on
+  // demand (recovery starts from whatever is there).
+  std::string dir;
+  durability::WalOptions wal;
+  // Injection point for tests (fault_file.h). Null = shared passthrough Fs.
+  // Must outlive the Service.
+  durability::Fs* fs = nullptr;
+};
+
 struct ServiceOptions {
   Options index;  // per-shard Wormhole options
+  DurabilityOptions durability;
 };
 
 class Service {
@@ -106,12 +142,56 @@ class Service {
   size_t size() const EXCLUDES(topo_mu_);
   uint64_t MemoryBytes() const EXCLUDES(topo_mu_);
 
+  // Durable mode: snapshots every shard (epoch-pinned cursor sweep; writers
+  // stay live) and truncates each WAL at its snapshot floor. Returns the
+  // first error; an error from shard i leaves shards 0..i-1 checkpointed.
+  durability::Status Checkpoint() EXCLUDES(topo_mu_);
+
+  // First durability error across shards (recovery failure or a failed
+  // append/fsync that tripped fail-stop); ok when everything is healthy.
+  durability::Status durability_status() const EXCLUDES(topo_mu_);
+
+  bool durable() const { return dur_.enabled; }
+
  private:
   // qsbr must outlive index: the Wormhole destructor drains into its domain.
+  // Declared first for exactly that reason (members destruct in reverse).
   struct Shard {
     std::unique_ptr<Qsbr> qsbr;
     std::unique_ptr<Wormhole> index;
+    // --- durable mode only (wal == nullptr otherwise) ---
+    // wal_mu serializes WAL append + index apply for mutating sub-batches,
+    // making WAL record order identical to apply order (the property replay
+    // correctness rests on). Reads never take it.
+    Mutex wal_mu;
+    std::unique_ptr<durability::Wal> wal;
+    std::string dir;
+    // Seq of the last mutation applied to the index; released after apply so
+    // Checkpoint's acquire-load sees a floor whose every record is visible
+    // to its cursor sweep.
+    std::atomic<uint64_t> applied_seq{0};
+    // Fail-stop flag; the first error is kept under wal_mu.
+    std::atomic<bool> failed{false};
+    durability::Status first_error GUARDED_BY(wal_mu);
   };
+
+  // Reusable per-batch scratch (see Execute) — keeps allocation flat.
+  struct ExecScratch {
+    std::vector<std::string_view> keys;
+    std::vector<std::string> values;
+    std::vector<uint8_t> hits;
+    std::vector<std::pair<std::string_view, std::string_view>> puts;
+    std::vector<durability::WalEntry> wal_entries;
+  };
+
+  // Executes shard s's grouped sub-batch (run detection + MultiGet/MultiPut
+  // dispatch). With apply_mutations == false (durable fail-stop), Get/Scan
+  // are still served but Put/Delete are refused with ok = false.
+  void RunShardOps(size_t s, const std::vector<Request>& batch,
+                   const uint32_t* idx, size_t idx_n,
+                   std::vector<Response>* responses, ExecScratch* scratch,
+                   std::vector<std::unique_ptr<Cursor>>* scan_cursors,
+                   bool apply_mutations) REQUIRES_SHARED(topo_mu_);
 
   // *cursors is Execute()'s per-batch shard-cursor cache: slot s holds the
   // cursor for shard s once any scan in the batch has touched it (empty
@@ -120,14 +200,23 @@ class Service {
                    std::vector<std::unique_ptr<Cursor>>* cursors)
       REQUIRES_SHARED(topo_mu_);
 
+  // Constructor-time recovery of one shard: snapshot + WAL tail into the
+  // empty index, then Wal::Open on the same dir. Errors mark the shard
+  // failed (the service still constructs; see durability_status()).
+  void RecoverShardFromDisk(Shard* shard, size_t shard_index);
+
   ShardRouter router_;  // immutable after construction (see shard_router.h)
+  DurabilityOptions dur_;
   // Guards the shard topology (the vector itself, not the Wormholes behind
   // it — each shard index has its own internal synchronization). Today the
   // topology is fixed after construction, so the shared side is uncontended
   // and effectively free; the exclusive side is the hook ROADMAP's live
   // resharding will take to swap shard sets under running Executes.
   mutable SharedMutex topo_mu_;
-  std::vector<Shard> shards_ GUARDED_BY(topo_mu_);
+  // unique_ptr elements: Shard carries a Mutex (immovable), and stable Shard
+  // addresses are what lets Execute hold a shard's wal_mu while other
+  // threads touch the vector's other elements.
+  std::vector<std::unique_ptr<Shard>> shards_ GUARDED_BY(topo_mu_);
 };
 
 }  // namespace wh

@@ -327,6 +327,67 @@ unsigned long f(Leaf* l) {
 expect_clean("allowlist", "src/core/x.cc", BAD_SEQLOCK_FOREIGN,
              ["seqlock-order|src/core/x.cc|l->version.load"])
 
+# --- raw-io -----------------------------------------------------------------
+
+case("raw-io")
+
+BAD_RAW_IO = """#include <unistd.h>
+#include <fcntl.h>
+int f(const char* p) { return open(p, O_RDONLY); }
+"""
+expect_fires("open() in src/durability", "src/durability/x.cc", BAD_RAW_IO,
+             "raw-io")
+
+expect_fires("fsync() in src/durability", "src/durability/x.cc",
+             """#include <unistd.h>
+void f(int fd) { fsync(fd); }
+""", "raw-io")
+
+expect_fires("::write in src/durability", "src/durability/x.cc",
+             """#include <unistd.h>
+void f(int fd, const char* p, unsigned long n) { ::write(fd, p, n); }
+""", "raw-io")
+
+expect_fires("std::ofstream in src/durability", "src/durability/x.cc",
+             """#include <fstream>
+void f() { std::ofstream out("x"); }
+""", "raw-io")
+
+expect_fires("std::rename in src/durability", "src/durability/x.cc",
+             """#include <cstdio>
+void f() { std::rename("a", "b"); }
+""", "raw-io")
+
+expect_clean("fault layer Fs calls are fine", "src/durability/x.cc",
+             """#include "src/durability/fault_file.h"
+wh::durability::Status f(wh::durability::Fs* fs) {
+  return fs->WriteFile("a", "b");
+}
+""")
+
+expect_clean("the home files are exempt", "src/durability/fault_file.cc",
+             BAD_RAW_IO)
+
+expect_clean("raw I/O outside src/durability not in scope",
+             "src/server/x.cc", BAD_RAW_IO)
+
+expect_clean("member .read()/.close() calls are not syscalls",
+             "src/durability/x.cc",
+             """int f(Stream* s, Stream& t) { return s->read(1) + t.close(); }
+""")
+
+expect_clean("mention in comment is fine", "src/durability/x.cc",
+             "// recovery must never call open() or fsync() directly\n")
+
+expect_clean("inline waiver", "src/durability/x.cc", """#include <unistd.h>
+void f(int fd) {
+  fsync(fd);  // lint:allow(raw-io): fixture demonstrating the waiver syntax
+}
+""")
+
+expect_clean("allowlist", "src/durability/x.cc", BAD_RAW_IO,
+             ["raw-io|src/durability/x.cc|open(p"])
+
 # --- multiple rules at once -------------------------------------------------
 
 case("combined")
