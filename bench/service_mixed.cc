@@ -45,12 +45,49 @@ constexpr Mix kMixes[] = {
 constexpr size_t kScanLimit = 50;
 constexpr size_t kBatchSize = 128;
 
+// Untimed batches through the same link before the clock starts. At smoke
+// scale (fractions of a second per cell) the first few batches carry
+// one-time costs — cursor/buffer allocation, and in durable mode the WAL's
+// first segment creation + first fsyncs on a cold directory — big enough to
+// swing a cell 5-10x run-to-run. Paying them off-clock makes smoke rows
+// comparable.
+constexpr int kWarmupBatches = 8;
+
+void WarmupService(wh::HerdServiceLink<wh::Service>* link,
+                   const std::vector<std::string>& keys, const Mix& mix) {
+  wh::Rng rng(0x3a93);
+  std::vector<wh::Request> batch(kBatchSize);
+  std::vector<wh::Response> responses;
+  const size_t n = keys.size();
+  for (int b = 0; b < kWarmupBatches; b++) {
+    for (auto& req : batch) {
+      const int roll = static_cast<int>(rng.NextBounded(100));
+      req.key = keys[rng.NextBounded(n)];
+      req.value.clear();
+      req.scan_limit = 0;
+      if (roll < mix.get_pct) {
+        req.op = wh::Op::kGet;
+      } else if (roll < mix.get_pct + mix.put_pct) {
+        req.op = wh::Op::kPut;
+        req.value.assign("valueval", 8);
+      } else if (roll < mix.get_pct + mix.put_pct + mix.delete_pct) {
+        req.op = wh::Op::kDelete;
+      } else {
+        req.op = wh::Op::kScan;
+        req.scan_limit = kScanLimit;
+      }
+    }
+    link->ExecuteBatch(batch, &responses);
+  }
+}
+
 double ServiceThroughput(wh::Service* service,
                          const std::vector<std::string>& keys, const Mix& mix,
                          int threads, double seconds) {
   wh::HerdConfig config;
   config.batch_size = kBatchSize;
   wh::HerdServiceLink<wh::Service> link(service, config);
+  WarmupService(&link, keys, mix);
   return wh::RunThroughput(threads, seconds, [&](int tid,
                                                  const std::atomic<bool>& stop) {
     wh::Rng rng(0x5e41ce + static_cast<uint64_t>(tid));
@@ -120,25 +157,29 @@ int main(int argc, char** argv) {
           std::to_string(kBatchSize) + ", keyset Az1, " +
           std::to_string(env.threads) + " threads",
       cols);
+  // One tmpdir REUSED for every durable cell (wiped between cells so no
+  // recovery replay leaks across): per-cell fresh directories made each
+  // cell's first fsyncs pay cold dir-creation metadata costs, which at smoke
+  // scale showed up as 5-10x row noise. Combined with the untimed warmup in
+  // ServiceThroughput (which creates the segment files and absorbs the first
+  // fsyncs), durable rows become comparable run-to-run.
   const std::string wal_root = "/tmp/wh_service_mixed_wal." +
                                std::to_string(static_cast<long>(::getpid()));
+  const std::string wal_dir = wal_root + "/active";
   for (const size_t shards : {1, 2, 4, 8}) {
     const wh::ShardRouter router = wh::ShardRouter::FromSamples(samples, shards);
     std::vector<double> row;
     for (const Mix& mix : kMixes) {
-      const std::string dir =
-          wal_root + "/S" + std::to_string(shards) + "-" + mix.name;
-      static_cast<void>(wh::durability::Fs::Default()->RemoveAll(dir));
+      static_cast<void>(wh::durability::Fs::Default()->RemoveAll(wal_dir));
       wh::ServiceOptions opt;
       opt.durability.enabled = true;
-      opt.durability.dir = dir;
+      opt.durability.dir = wal_dir;
       {
         wh::Service service(opt, router);
         wh::LoadService(&service, keys);
         row.push_back(
             ServiceThroughput(&service, keys, mix, env.threads, env.seconds));
       }
-      static_cast<void>(wh::durability::Fs::Default()->RemoveAll(dir));
     }
     wh::PrintRow("S=" + std::to_string(router.shard_count()) + "+wal", row);
   }

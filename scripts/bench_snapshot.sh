@@ -4,9 +4,10 @@
 # reverse / YCSB-E short scans over cursors), and service_mixed (the full
 # sharded service stack) with --json and writes one aggregated BENCH_<date>.json in
 # the repo root. Each PR can leave a snapshot behind, so the next one has a
-# machine-readable baseline to diff against. bench_regress.py gates three
-# metrics out of it: service YCSB-E, fig18 forward-100 scans, and the fig09
-# 1-thread Get MOPS (the optimistic point-read fast path). Absolute numbers
+# machine-readable baseline to diff against. bench_regress.py gates four
+# metrics out of it: service YCSB-E, fig18 forward-100 scans, the fig09
+# 1-thread Get MOPS (the optimistic point-read fast path), and the fig18
+# short-scan-16 Az1 cell (the speculative cursor-window fast path). Absolute numbers
 # are only comparable on the same hardware — the snapshot records nproc for
 # that reason; shapes (scaling ratios, keyset ordering) travel better.
 #

@@ -38,13 +38,21 @@ Rules (each also documented in README.md "Static analysis"):
   seqlock-order    The leaf `version` seqlock counter has exactly one legal
                    protocol (odd/even write sections, acquire-validated
                    reads), implemented by the helpers in src/core/leaf_ops.h
-                   and their call sites in src/core/wormhole.cc. Any direct
+                   and their call sites in src/core/wormhole.cc — today the
+                   point-read (OptimisticLeafGet) and cursor window-fill
+                   (TrySpecFill / SpecHop*) speculative paths. Any direct
                    `version` load/store/RMW or operator form in any other
                    file fails; inside the two home files, method calls must
                    still name an explicit std::memory_order and operator
                    forms (implicit seq_cst, and invisible to review) are
                    banned outright. Passing `&leaf->version` to a helper is
-                   the sanctioned handoff and does not match.
+                   the sanctioned handoff and does not match. The leaf
+                   retirement flag `dead` rides on the same protocol (its
+                   store publishes under the removal write section; readers
+                   recheck it after validate), so its atomic METHOD CALLS
+                   are policed the same way — call forms only, because
+                   LeafStore::dead is an unrelated plain dead-bytes counter
+                   whose `+=` must not match.
 
 Suppression, most-specific first:
   - inline waiver: a `// lint:allow(<rule>): <reason>` comment on the
@@ -111,6 +119,14 @@ SEQLOCK_CALL_RE = re.compile(
 # (Brace-init in the declaration does not match; `==`/`!=` comparisons are
 # excluded by the lookarounds.)
 SEQLOCK_OP_RE = re.compile(r"\bversion\s*(\+\+|--|\+=|-=|\|=|&=|\^=|=(?!=))")
+
+# The leaf retirement flag participates in the same protocol (speculative
+# readers recheck it after SeqlockReadValidate), so its atomic method calls
+# obey the same home-file + explicit-order rules. CALL FORMS ONLY:
+# LeafStore::dead is a plain uint32 dead-bytes counter mutated with `+=` in
+# leaf_ops.h, so an operator-form check on `dead` would false-positive.
+SEQLOCK_DEAD_CALL_RE = re.compile(
+    r"\bdead\s*(?:\.|->)\s*(" + "|".join(ATOMIC_CALLS) + r")\s*\(")
 
 RAW_MUTEX_RE = re.compile(
     r"std::(mutex|shared_mutex|timed_mutex|recursive_mutex|lock_guard|"
@@ -340,6 +356,23 @@ class Linter:
                     "seqlock-order", relpath, lineno, raw_lines,
                     f"seqlock counter .{m.group(1)}() without an explicit "
                     "std::memory_order")
+        # The retirement flag: same home files, same explicit-order demand
+        # (call forms only — see SEQLOCK_DEAD_CALL_RE).
+        for m in SEQLOCK_DEAD_CALL_RE.finditer(code):
+            lineno = code.count("\n", 0, m.start()) + 1
+            if not home:
+                self.report(
+                    "seqlock-order", relpath, lineno, raw_lines,
+                    "direct access to the leaf retirement flag outside "
+                    "leaf_ops.h/wormhole.cc; speculative readers go through "
+                    "Leaf::retired() after SeqlockReadValidate")
+                continue
+            args = call_args(code, m.end() - 1)
+            if args is None or "memory_order" not in args:
+                self.report(
+                    "seqlock-order", relpath, lineno, raw_lines,
+                    f"leaf retirement flag .{m.group(1)}() without an "
+                    "explicit std::memory_order")
         # Operator forms are never legal: the write protocol is the RAII
         # SeqlockWriteSection, and an implicit-seq_cst bump hides the
         # odd/even bracket from review.

@@ -37,18 +37,22 @@
 //   outstanding cursor (using one afterwards is undefined). The concurrent
 //   Wormhole is the exception: its cursors stay usable under concurrent
 //   writers with per-leaf snapshot semantics (see wormhole.h; each leaf's
-//   window is copied out under the per-leaf lock, so a cursor never holds a
-//   leaf lock across user code, and never blocks writers between calls).
+//   window is filled speculatively — a seqlock-validated lock-free copy, so
+//   a read-only scan performs zero atomic RMW — falling back to a copy under
+//   the per-leaf shared lock after optimistic_retries lost races. Either
+//   way a cursor never holds a leaf lock across user code, and never blocks
+//   writers between calls).
 //
 // Hints:
 //   SetScanLimitHint(n) tells the cursor the caller expects to consume about
 //   n items per positioning (0 = unbounded, the default). It is purely an
 //   optimization hint — visible semantics NEVER change — and it is sticky
-//   across repositionings until overwritten. The concurrent Wormhole uses it
-//   to pick its bounded emit-in-place mode (copy only the n items the caller
-//   will read instead of the whole leaf window; see wormhole.h); emit-in-place
-//   cursors ignore it. A caller that walks past the hinted count stays
-//   correct but may pay a re-route per overstep.
+//   across repositionings until overwritten. The concurrent Wormhole bounds
+//   its window fills by it (copy only the n items the caller will read
+//   instead of the whole leaf window; see wormhole.h); WormholeUnsafe's
+//   emit-in-place cursor uses it to skip the neighbor-leaf prefetch when the
+//   hinted scan provably fits the current leaf. A caller that walks past the
+//   hinted count stays correct but may pay a re-route per overstep.
 //
 // Lifetime: a cursor must not outlive its index (nor, for the concurrent
 // Wormhole, the thread's QSBR registration — destroy cursors before

@@ -30,13 +30,17 @@
 //   - Seqlock readers are the third accepted NO_TSA shape: a function that
 //     reads GUARDED_BY data with NO lock held, bracketed by
 //     leafops::SeqlockReadBegin / SeqlockReadValidate on the guarding leaf's
-//     version counter (Wormhole::OptimisticLeafGet). Such functions must (a)
+//     version counter. Point reads (Wormhole::OptimisticLeafGet) and cursor
+//     window fills (Wormhole::CursorImpl::TrySpecFill + the deep neighbor
+//     prefetch it issues) are the two instances. Such functions must (a)
 //     never dereference out of the validated snapshot (every index/offset is
-//     bounds-checked against the acquired block capacity), (b) discard all
-//     results when validation fails, and (c) touch the version counter only
-//     through the leaf_ops.h helpers — direct version loads/stores elsewhere,
-//     or any without an explicit std::memory_order, fail the `seqlock-order`
-//     lint rule.
+//     bounds-checked against the acquired block capacity — for window fills
+//     the copy pass must also reuse the exact slot snapshots the layout pass
+//     sized, never re-load), (b) discard all results when validation fails,
+//     and (c) touch the version counter and the leaf dead flag only through
+//     the leaf_ops.h / Leaf helpers — direct version or dead-flag atomic
+//     calls elsewhere, or any without an explicit std::memory_order, fail
+//     the `seqlock-order` lint rule.
 //
 // The macro set below is the standard one from the Clang TSA documentation
 // (mirrors Abseil's). The attributes are erased unless the compiler supports

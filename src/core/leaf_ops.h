@@ -18,7 +18,8 @@
 // caller to hold the leaf's exclusive lock, but reads come in two flavors:
 //
 //   locked       shared lock held; plain loads, any helper below is fair game
-//   speculative  NO lock; only SpecFind, bracketed by SeqlockReadBegin /
+//   speculative  NO lock; only SpecFind (point reads) and SpecFillWindow
+//                (cursor window fills), bracketed by SeqlockReadBegin /
 //                SeqlockReadValidate on the leaf's version counter
 //
 // To make the speculative flavor defined behavior, each container is a
@@ -53,6 +54,7 @@ namespace wh {
 namespace leafops {
 
 inline constexpr uint32_t kInlineValue = 8;
+
 
 // ---------------------------------------------------------------------------
 // Relaxed atomic cell accessors. Speculative readers race with writers by
@@ -111,8 +113,97 @@ inline void RelaxedCopyIn(char* dst, const char* src, size_t n) {
   }
 }
 
+// Word-wise speculative reads are available when the relaxed builtins exist
+// and the target is little-endian (the shift composition below assembles
+// byte 0 into the LSB). Everything else falls back to per-byte loops.
+#if (defined(__GNUC__) || defined(__clang__)) && defined(__BYTE_ORDER__) && \
+    __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+#define WH_SPEC_WORDWISE 1
+#else
+#define WH_SPEC_WORDWISE 0
+#endif
+
+#if WH_SPEC_WORDWISE
+// 8 bytes starting at arbitrary `p`, assembled from the one or two ALIGNED
+// words that contain them. `p` must point into a SpecVec block payload:
+// payloads are 16-aligned and padded to an 8-byte multiple (AllocBlock), so
+// every aligned word containing an in-bounds byte is inside the allocation —
+// the reason these helpers never issue a misaligned atomic op (UB, and a
+// libatomic call on some targets) and never overread the block.
+// hot-path: speculative word load
+inline uint64_t SpecLoadWord(const char* p) {
+  const uintptr_t u = reinterpret_cast<uintptr_t>(p);
+  const char* ap = reinterpret_cast<const char*>(u & ~uintptr_t{7});
+  const unsigned lead = static_cast<unsigned>(u & 7) * 8;
+  const uint64_t lo = RelaxedLoad64(reinterpret_cast<const uint64_t*>(ap));
+  if (lead == 0) {
+    return lo;
+  }
+  const uint64_t hi =
+      RelaxedLoad64(reinterpret_cast<const uint64_t*>(ap + 8));
+  return (lo >> lead) | (hi << (64 - lead));
+}
+
+// 1..7 bytes starting at `p`, zero-extended. Unlike SpecLoadWord this never
+// touches a word past the requested range, so it is safe right up against
+// the padded end of the block.
+inline uint64_t SpecLoadTail(const char* p, size_t n) {
+  const uintptr_t u = reinterpret_cast<uintptr_t>(p);
+  const char* ap = reinterpret_cast<const char*>(u & ~uintptr_t{7});
+  const unsigned lead = static_cast<unsigned>(u & 7);
+  uint64_t v = RelaxedLoad64(reinterpret_cast<const uint64_t*>(ap)) >>
+               (lead * 8);
+  if (lead + n > 8) {  // crosses into the next word (implies lead > 0)
+    const uint64_t hi =
+        RelaxedLoad64(reinterpret_cast<const uint64_t*>(ap + 8));
+    v |= hi << ((8 - lead) * 8);
+  }
+  return v & ((uint64_t{1} << (n * 8)) - 1);
+}
+#endif
+
 // hot-path: speculative value copy-out
 inline void RelaxedCopyOut(char* dst, const char* src, size_t n) {
+#if WH_SPEC_WORDWISE
+  // CopyBytes' shape (leaf window fills copy hundreds of short strings per
+  // scan; a per-byte loop here halves scan throughput). Streams ALIGNED
+  // words, carrying the previous word in a register so a misaligned source
+  // costs one load per 8 output bytes, not two — each aligned word is read
+  // once and shift-merged with its successor.
+  if (n >= 8) {
+    const uintptr_t u = reinterpret_cast<uintptr_t>(src);
+    const uint64_t* ap =
+        reinterpret_cast<const uint64_t*>(u & ~uintptr_t{7});
+    const unsigned lead = static_cast<unsigned>(u & 7) * 8;
+    size_t i = 0;
+    if (lead == 0) {
+      for (; i + 8 <= n; i += 8) {
+        const uint64_t w = RelaxedLoad64(ap + i / 8);
+        std::memcpy(dst + i, &w, 8);
+      }
+    } else {
+      // Word ap[i/8 + 1] always holds byte src+i+7, so the load stays
+      // inside the padded block for every full chunk.
+      uint64_t prev = RelaxedLoad64(ap);
+      for (; i + 8 <= n; i += 8) {
+        const uint64_t nxt = RelaxedLoad64(ap + i / 8 + 1);
+        const uint64_t w = (prev >> lead) | (nxt << (64 - lead));
+        std::memcpy(dst + i, &w, 8);
+        prev = nxt;
+      }
+    }
+    if (i < n) {  // 1..7 leftover bytes: overlapping word ending at n
+      const uint64_t w = SpecLoadWord(src + n - 8);
+      std::memcpy(dst + n - 8, &w, 8);
+    }
+  } else if (n != 0) {
+    uint64_t w = SpecLoadTail(src, n);
+    for (size_t i = 0; i < n; i++) {
+      dst[i] = static_cast<char>(w);
+      w >>= 8;
+    }
+  }
+#else
   size_t i = 0;
   while (i < n && (reinterpret_cast<uintptr_t>(src + i) & 7) != 0) {
     dst[i] = RelaxedLoad8(src + i);
@@ -125,6 +216,83 @@ inline void RelaxedCopyOut(char* dst, const char* src, size_t n) {
   for (; i < n; i++) {
     dst[i] = RelaxedLoad8(src + i);
   }
+#endif
+}
+
+// Lexicographic compare of a speculative key [p, p+len) against a private
+// byte string, memcmp semantics over the common prefix (the caller breaks
+// length ties). Word-at-a-time: equal words short-circuit without a swap;
+// the first differing word decides via byte-reversed comparison.
+// hot-path: speculative key compare
+inline int SpecKeyCompare(const char* p, size_t len, std::string_view b) {
+  const size_t common = len < b.size() ? len : b.size();
+#if WH_SPEC_WORDWISE
+  // Streams aligned words like RelaxedCopyOut: hierarchical keysets share
+  // long prefixes, so the equal-word loop is the whole cost of a probe and
+  // must run at one load per 8 bytes.
+  size_t i = 0;
+  if (common >= 8) {
+    const uintptr_t u = reinterpret_cast<uintptr_t>(p);
+    const uint64_t* ap =
+        reinterpret_cast<const uint64_t*>(u & ~uintptr_t{7});
+    const unsigned lead = static_cast<unsigned>(u & 7) * 8;
+    if (lead == 0) {
+      for (; i + 8 <= common; i += 8) {
+        const uint64_t a = RelaxedLoad64(ap + i / 8);
+        uint64_t w;
+        std::memcpy(&w, b.data() + i, 8);
+        if (a != w) {
+          return __builtin_bswap64(a) < __builtin_bswap64(w) ? -1 : 1;
+        }
+      }
+    } else {
+      uint64_t prev = RelaxedLoad64(ap);
+      for (; i + 8 <= common; i += 8) {
+        const uint64_t nxt = RelaxedLoad64(ap + i / 8 + 1);
+        const uint64_t a = (prev >> lead) | (nxt << (64 - lead));
+        uint64_t w;
+        std::memcpy(&w, b.data() + i, 8);
+        if (a != w) {
+          return __builtin_bswap64(a) < __builtin_bswap64(w) ? -1 : 1;
+        }
+        prev = nxt;
+      }
+    }
+  }
+  if (i < common) {
+    if (common >= 8) {
+      // Overlapping last-word compare (RelaxedCopyOut's tail trick): bytes
+      // [common-8, i) already compared equal, so the first difference in
+      // this word is the first differing byte overall — and a full-word
+      // load + bswap beats assembling a 1..7-byte tail with a
+      // runtime-length memcpy, which gcc lowers to a byte loop.
+      const uint64_t a = SpecLoadWord(p + common - 8);
+      uint64_t w;
+      std::memcpy(&w, b.data() + common - 8, 8);
+      if (a != w) {
+        return __builtin_bswap64(a) < __builtin_bswap64(w) ? -1 : 1;
+      }
+    } else {
+      const uint64_t a = SpecLoadTail(p + i, common - i);
+      uint64_t w = 0;
+      std::memcpy(&w, b.data() + i, common - i);
+      if (a != w) {
+        return __builtin_bswap64(a) < __builtin_bswap64(w) ? -1 : 1;
+      }
+    }
+  }
+  return 0;
+#else
+  for (size_t i = 0; i < common; i++) {
+    const int d = static_cast<int>(static_cast<unsigned char>(
+                      RelaxedLoad8(p + i))) -
+                  static_cast<int>(static_cast<unsigned char>(b[i]));
+    if (d != 0) {
+      return d;
+    }
+  }
+  return 0;
+#endif
 }
 
 // ---------------------------------------------------------------------------
@@ -247,7 +415,12 @@ class SpecVec {
     return b == nullptr ? nullptr : reinterpret_cast<const T*>(b + 1);
   }
   static Block* AllocBlock(size_t n) {
-    Block* b = static_cast<Block*>(::operator new(sizeof(Block) + n * sizeof(T)));
+    // Payload padded to an 8-byte multiple: the speculative copy/compare
+    // helpers (SpecLoadWord and friends) read whole aligned words, and every
+    // aligned word containing an in-bounds payload byte must itself be
+    // inside the allocation. The pad bytes are never written or trusted.
+    const size_t bytes = (n * sizeof(T) + 7) & ~size_t{7};
+    Block* b = static_cast<Block*>(::operator new(sizeof(Block) + bytes));
     b->cap = n;
     b->reserved_ = 0;
     return b;
@@ -347,6 +520,56 @@ inline LeafSlot SlotLoad(const LeafSlot* src) {
   return out;
 }
 
+// First two slot words only — hash/koff/klen/vlen, everything a search
+// probe orders by. Binary searches never touch the value word, so loading
+// it (SlotLoad) would be a third relaxed load per probe for nothing.
+// hot-path: speculative probe snapshot
+struct LeafSlotKey {
+  uint32_t hash;
+  uint32_t koff;
+  uint32_t klen;
+  uint32_t vlen;
+};
+inline LeafSlotKey SlotLoadKey(const LeafSlot* src) {
+  uint64_t w[2];
+  const uint64_t* p = reinterpret_cast<const uint64_t*>(src);
+  w[0] = RelaxedLoad64(p);
+  w[1] = RelaxedLoad64(p + 1);
+  LeafSlotKey out;
+  std::memcpy(&out, w, sizeof(out));
+  return out;
+}
+
+// Warms the two slots a binary search can probe NEXT while the current
+// probe's key compare is still in flight. A probe is a serial id -> slot ->
+// key-bytes dependency chain, so on a cold leaf every level is a full miss;
+// issuing both candidate slot lines one level early overlaps that latency.
+// The loads are ordinary in-bounds index reads (left/right stay inside
+// [lo, lo + cnt)); a stale id is clamped exactly like the real probe's.
+// hot-path: speculative probe prefetch
+inline void SpecPrefetchLine(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+inline void SpecPrefetchProbes(const uint16_t* idx, size_t lo, size_t cnt,
+                               const LeafSlot* slots, size_t slots_cap) {
+  const size_t half = cnt / 2;
+  const uint16_t a = RelaxedLoad16(idx + lo + half / 2);
+  if (a < slots_cap) {
+    SpecPrefetchLine(slots + a);
+  }
+  if (cnt > half + 1) {
+    const size_t rest = cnt - half - 1;
+    const uint16_t b = RelaxedLoad16(idx + lo + half + 1 + rest / 2);
+    if (b < slots_cap) {
+      SpecPrefetchLine(slots + b);
+    }
+  }
+}
+
 inline void SlotStore(LeafSlot* dst, const LeafSlot& v) {
   uint64_t w[3];
   std::memcpy(w, &v, sizeof(w));
@@ -404,6 +627,13 @@ struct FlatWindow {
   };
   std::vector<char> buf;
   std::vector<Entry> entries;
+  // Scratch for SpecFillWindow's pass-one slot snapshots: per item the source
+  // key offset, and either 0 (inline value, already copied in pass one) or
+  // voff | vlen<<32 for an out-of-line value. Pass two MUST copy from these,
+  // never from a re-loaded slot (see SpecFillWindow). Sized by high-water
+  // mark and reused across fills like the vectors above.
+  std::vector<uint32_t> spec_ksrc;
+  std::vector<uint64_t> spec_vsrc;
 
   size_t size() const { return entries.size(); }
   std::string_view KeyAt(size_t i) const {
@@ -654,12 +884,7 @@ inline bool SpecKeyEquals(const char* slab, uint32_t koff, uint32_t klen,
   if (klen != key.size()) {
     return false;
   }
-  for (uint32_t i = 0; i < klen; i++) {
-    if (RelaxedLoad8(slab + koff + i) != key[i]) {
-      return false;
-    }
-  }
-  return true;
+  return SpecKeyCompare(slab + koff, klen, key) == 0;
 }
 
 // Lockless FindSlot + value copy-out. Mirrors FindSlot's search strategy
@@ -690,7 +915,8 @@ inline SpecRead SpecFind(const LeafStore& s, bool direct_pos,
     if (id >= slots.cap) {
       return SpecRead::kInconsistent;
     }
-    const LeafSlot sl = SlotLoad(slots.p + id);
+    SpecPrefetchProbes(idx.p, lo, cnt, slots.p, slots.cap);
+    const LeafSlotKey sl = SlotLoadKey(slots.p + id);
     if (static_cast<uint64_t>(sl.koff) + sl.klen > slab.cap) {
       return SpecRead::kInconsistent;
     }
@@ -698,15 +924,7 @@ inline SpecRead SpecFind(const LeafStore& s, bool direct_pos,
     if (direct_pos && sl.hash != hash) {
       less = sl.hash < hash;
     } else {
-      int cmp = 0;
-      const uint32_t limit =
-          sl.klen < key.size() ? sl.klen : static_cast<uint32_t>(key.size());
-      for (uint32_t i = 0; i < limit && cmp == 0; i++) {
-        const unsigned char a =
-            static_cast<unsigned char>(RelaxedLoad8(slab.p + sl.koff + i));
-        const unsigned char b = static_cast<unsigned char>(key[i]);
-        cmp = static_cast<int>(a) - static_cast<int>(b);
-      }
+      const int cmp = SpecKeyCompare(slab.p + sl.koff, sl.klen, key);
       less = cmp != 0 ? cmp < 0 : sl.klen < key.size();
     }
     if (less) {
@@ -745,6 +963,190 @@ inline SpecRead SpecFind(const LeafStore& s, bool direct_pos,
     }
   }
   return SpecRead::kFound;
+}
+
+// Result of one speculative whole-window fill. `ok == false` means an
+// internal bounds check caught an impossible snapshot — retry without
+// validating. `ok == true` only promises the copy stayed inside live
+// allocations; the bytes are garbage until the caller's SeqlockReadValidate
+// (+ dead-flag recheck) proves the leaf version held still across the fill.
+struct SpecWindow {
+  bool ok = false;
+  size_t lo = 0;  // first rank copied
+  size_t hi = 0;  // one past the last rank copied
+  size_t n = 0;   // snapshot size the ranks were computed against
+};
+
+// SpecFind's discipline applied to a whole window: fill `win` with the same
+// key-ordered rank range the locked FillForward/FillBackward would copy —
+// forward: [lower_bound(bound, strict), +budget); backward: ranks below that
+// bound, the last `budget` of them — through AcquireView + relaxed loads
+// only, clamping every id and offset to the capacity of the block it was
+// loaded from. `has_bound == false` skips the rank search (hop fills: rank 0
+// forward, the leaf end backward). budget == 0 means unbounded.
+//
+// The rank search runs on possibly-garbage keys like SpecFind's: it still
+// terminates and at worst lands on a wrong rank, which the caller's version
+// check rejects. Each slot is loaded exactly once and both its offsets and
+// its copy derive from that single snapshot, so a torn slot can never write
+// outside the bounds its own lengths were checked against.
+// hot-path: speculative cursor window fill
+inline SpecWindow SpecFillWindow(const LeafStore& s, bool forward,
+                                 bool has_bound, std::string_view bound,
+                                 bool strict, size_t budget, FlatWindow* win) {
+  SpecWindow out;
+  const auto idx = s.by_key.AcquireView();
+  const auto slots = s.slots.AcquireView();
+  const auto slab = s.slab.AcquireView();
+  size_t n = s.size();
+  if (n > idx.cap) {
+    n = idx.cap;  // stale size; clamp — validation will reject the attempt
+  }
+  // Racy lower_bound over the key-ordered index: rank of the first key
+  // (strict ? > : >=) bound, exactly LowerBoundRank's verdict.
+  size_t rank = 0;
+  if (has_bound) {
+    size_t cnt = n;
+    while (cnt > 0) {
+      const size_t half = cnt / 2;
+      const size_t mid = rank + half;
+      const uint16_t id = RelaxedLoad16(idx.p + mid);
+      if (id >= slots.cap) {
+        return out;
+      }
+      SpecPrefetchProbes(idx.p, rank, cnt, slots.p, slots.cap);
+      const LeafSlotKey sl = SlotLoadKey(slots.p + id);
+      if (static_cast<uint64_t>(sl.koff) + sl.klen > slab.cap) {
+        return out;
+      }
+      const int cmp = SpecKeyCompare(slab.p + sl.koff, sl.klen, bound);
+      const bool skip =  // slot orders (strict ? <= : <) bound
+          cmp != 0 ? cmp < 0
+                   : (strict ? sl.klen <= bound.size()
+                             : sl.klen < bound.size());
+      if (skip) {
+        rank = mid + 1;
+        cnt -= half + 1;
+      } else {
+        cnt = half;
+      }
+    }
+  } else if (!forward) {
+    rank = n;
+  }
+  size_t lo, hi;
+  if (forward) {
+    lo = rank;
+    hi = budget == 0 ? n : std::min(n, lo + budget);
+  } else {
+    hi = rank;
+    lo = (budget == 0 || hi <= budget) ? 0 : hi - budget;
+  }
+  win->entries.clear();
+  if (lo >= hi) {
+    out.ok = true;
+    out.lo = lo;
+    out.hi = hi;
+    out.n = n;
+    return out;
+  }
+  // Two passes in Refill's shape — fusing them serializes every copy's
+  // address computation behind the previous slot's loaded lengths and
+  // measures ~2x slower; with precomputed offsets pass two is a pure
+  // streaming copy. Two rejected shapes, both measured slower: a one-shot
+  // copy of the whole slab image (slab capacity carries growth slack and
+  // dead bytes, and the relaxed-load stream cannot be vectorized, so even a
+  // most-of-the-leaf window copies more bytes slower), and run-coalescing
+  // adjacent per-item copies in pass two (the run bookkeeping kept spilling
+  // around the atomic-op copy calls and cost more than the per-call setup it
+  // saved, even on a fully rank-ordered slab). Pass one snapshots each slot
+  // ONCE (SlotLoad); everything pass two touches derives from that snapshot,
+  // parked in spec_ksrc / spec_vsrc — re-loading a slot between passes could
+  // yield a different vlen than the one the layout sized, and the copy would
+  // overrun buf. Inline values are copied in pass one directly (they live in
+  // the snapshot, not the slab).
+  //
+  // buf is pre-sized to the worst consistent case — every live slab byte
+  // plus kInlineValue per item — so a torn slot whose lengths would write
+  // past that bound is an impossible snapshot and rejects the fill. buf and
+  // the scratch arrays only ever grow (entries bound the live prefix; the
+  // slack tail is dead bytes), so resizing is a one-time cost per high-water
+  // mark, not per fill.
+  const size_t count_max = hi - lo;
+  if (win->entries.capacity() < count_max) {
+    win->entries.reserve(count_max);
+  }
+  if (win->spec_ksrc.size() < count_max) {
+    win->spec_ksrc.resize(count_max);
+    win->spec_vsrc.resize(count_max);
+  }
+  const size_t max_bytes = slab.cap + count_max * kInlineValue;
+  if (win->buf.size() < max_bytes) {
+    win->buf.resize(max_bytes);
+  }
+  char* dst = win->buf.data();
+  uint32_t* ks = win->spec_ksrc.data();
+  uint64_t* vs = win->spec_vsrc.data();
+  constexpr size_t kAhead = 4;
+  size_t bytes = 0;
+  for (size_t r = lo; r < hi; r++) {
+    if (r + kAhead < hi) {
+      const uint16_t ahead = RelaxedLoad16(idx.p + r + kAhead);
+      if (ahead < slots.cap) {
+        SpecPrefetchLine(slots.p + ahead);
+      }
+    }
+    const uint16_t id = RelaxedLoad16(idx.p + r);
+    if (id >= slots.cap) {
+      return out;
+    }
+    const LeafSlot sl = SlotLoad(slots.p + id);
+    if (static_cast<uint64_t>(sl.koff) + sl.klen > slab.cap ||
+        bytes + sl.klen + kInlineValue > max_bytes) {
+      return out;
+    }
+    SpecPrefetchLine(slab.p + sl.koff);  // key bytes for pass two
+    const size_t i = r - lo;
+    ks[i] = sl.koff;
+    FlatWindow::Entry e;
+    e.koff = static_cast<uint32_t>(bytes);
+    e.klen = sl.klen;
+    bytes += sl.klen;
+    e.voff = static_cast<uint32_t>(bytes);
+    e.vlen = sl.vlen;
+    if (sl.vlen <= kInlineValue) {
+      // Fixed-size copy from the local snapshot; the layout guard above
+      // reserved kInlineValue, so the tail bytes past vlen land in slack.
+      std::memcpy(dst + bytes, sl.vinl, kInlineValue);
+      vs[i] = 0;
+    } else {
+      if (static_cast<uint64_t>(sl.voff) + sl.vlen > slab.cap ||
+          bytes + sl.vlen > max_bytes) {
+        return out;
+      }
+      SpecPrefetchLine(slab.p + sl.voff);
+      // Never collides with the inline marker: out-of-line means vlen > 8.
+      vs[i] = static_cast<uint64_t>(sl.voff) |
+              (static_cast<uint64_t>(sl.vlen) << 32);
+    }
+    bytes += sl.vlen;
+    win->entries.push_back(e);
+  }
+  const FlatWindow::Entry* es = win->entries.data();
+  const size_t count = win->entries.size();
+  for (size_t i = 0; i < count; i++) {
+    const FlatWindow::Entry& e = es[i];
+    RelaxedCopyOut(dst + e.koff, slab.p + ks[i], e.klen);
+    if (vs[i] != 0) {
+      RelaxedCopyOut(dst + e.voff, slab.p + static_cast<uint32_t>(vs[i]),
+                     static_cast<uint32_t>(vs[i] >> 32));
+    }
+  }
+  out.ok = true;
+  out.lo = lo;
+  out.hi = hi;
+  out.n = n;
+  return out;
 }
 
 // Appends a new item and splices its slot id into the ordered indexes.

@@ -293,9 +293,12 @@ bool WormholeUnsafe::Delete(std::string_view key) {
 // Whenever the cursor enters a leaf it prefetches the NEXT hop target —
 // header, rank index, slot array, and first slab lines, exactly what the
 // first KeyAt after a hop touches — so a drain streams leaves with the
-// memory system one leaf ahead. Peeking into a neighbor's store this way is
-// only legal here because the class is single-threaded; the concurrent
-// cursor prefetches leaf headers only.
+// memory system one leaf ahead. SetScanLimitHint turns short scans into a
+// pure single-leaf fast path: when the hinted length fits the current leaf,
+// the neighbor prefetch is skipped and the scan touches nothing outside the
+// leaf it seeked into. The concurrent cursor's speculative fills issue a
+// comparable deep neighbor prefetch through SpecVec::AcquireView (see
+// PrefetchNeighborData there).
 class WormholeUnsafe::CursorImpl final : public Cursor {
  public:
   explicit CursorImpl(WormholeUnsafe* wh) : wh_(wh) {}
@@ -304,7 +307,11 @@ class WormholeUnsafe::CursorImpl final : public Cursor {
     leaf_ = wh_->FindLeaf(target);
     rank_ = leafops::LowerBoundRank(leaf_->store, target, /*strict=*/false);
     SkipForward();
-    if (valid_) {
+    // Short scans that fit the current leaf never touch the neighbor: this
+    // cursor is already emit-in-place (key()/value() are views into the
+    // slab), so with the hop excluded the whole scan is copy-free and
+    // single-leaf. Only warm the next leaf when the drain will reach it.
+    if (valid_ && !HintFitsLeafForward()) {
       PrefetchLeaf(leaf_->next);  // a forward drain is the common follow-up
     }
   }
@@ -314,10 +321,12 @@ class WormholeUnsafe::CursorImpl final : public Cursor {
     // First rank > target; StepBack lands on the floor (last key <= target).
     rank_ = leafops::LowerBoundRank(leaf_->store, target, /*strict=*/true);
     StepBack();
-    if (valid_) {
+    if (valid_ && !HintFitsLeafBackward()) {
       PrefetchLeaf(leaf_->prev);
     }
   }
+
+  void SetScanLimitHint(size_t count) override { hint_ = count; }
 
   bool Valid() const override { return valid_; }
 
@@ -340,6 +349,14 @@ class WormholeUnsafe::CursorImpl final : public Cursor {
   std::string_view value() const override { return leaf_->store.ValueAt(rank_); }
 
  private:
+  // True when a hinted scan of hint_ items is guaranteed to drain inside the
+  // current leaf, so the neighbor prefetch would warm lines the scan never
+  // reads. hint_ == 0 means "unknown length": assume the drain crosses.
+  bool HintFitsLeafForward() const {
+    return hint_ != 0 && rank_ + hint_ <= leaf_->store.size();
+  }
+  bool HintFitsLeafBackward() const { return hint_ != 0 && hint_ <= rank_ + 1; }
+
   static void PrefetchLeaf(const Leaf* l) {
     if (l == nullptr) {
       return;
@@ -389,6 +406,7 @@ class WormholeUnsafe::CursorImpl final : public Cursor {
   WormholeUnsafe* wh_;
   Leaf* leaf_ = nullptr;
   size_t rank_ = 0;
+  size_t hint_ = 0;  // expected remaining items, 0 = unknown
   bool valid_ = false;
 };
 
@@ -1295,10 +1313,22 @@ bool Wormhole::DeleteSlow(std::string_view key) {
 //     touches the bytes it will not return. Draining past a truncated window
 //     edge continues inside the same leaf under a version check (no
 //     re-route) and only falls back to the hash route on a lost race.
-// Either way the refill happens under the leaf's shared lock via
-// leafops::FlatWindow::Refill — one flat buffer, no per-item allocation —
-// and the seek rank is computed against the live store under that same
-// lock, so the items a positioning skips are never copied at all.
+//
+// The fill itself is SPECULATIVE first, exactly like Get: route lock-free,
+// snapshot the leaf's version (even, or bail), copy the rank window through
+// leafops::SpecFillWindow (relaxed loads, every index/offset clamped to its
+// block), then an acquire fence + version re-read + dead-flag recheck. A
+// validated window is indistinguishable from one copied under the shared
+// lock; a failed validation retries, and after Options::optimistic_retries
+// failures the operation falls back to the locked FillForward/FillBackward
+// path below (also the whole path when optimistic_retries is 0). Window
+// hops and truncated-edge continuations revalidate against the snapshot
+// version the same way the locked paths do — just without the lock — so a
+// read-only scan performs ZERO atomic RMW: no leaf lock word is ever
+// written, and the only stores land in the cursor's own window buffer.
+// Either flavor fills the same reusable FlatWindow — one flat buffer, no
+// per-item allocation — and computes the seek rank against the same
+// snapshot it copies, so the items a positioning skips are never copied.
 class Wormhole::CursorImpl final : public Cursor {
  public:
   explicit CursorImpl(Wormhole* wh) : wh_(wh), slot_(wh->qsbr_->CurrentSlot()) {
@@ -1315,6 +1345,7 @@ class Wormhole::CursorImpl final : public Cursor {
     bound_.assign(target);
     strict_ = false;
     consumed_ = 0;
+    pending_ = Pending::kNone;
     PositionForward();
   }
 
@@ -1322,16 +1353,21 @@ class Wormhole::CursorImpl final : public Cursor {
     bound_.assign(target);
     strict_ = false;
     consumed_ = 0;
+    pending_ = Pending::kNone;
     PositionBackward();
   }
 
-  bool Valid() const override { return valid_; }
+  bool Valid() const override {
+    EnsurePositioned();
+    return valid_;
+  }
 
   void SetScanLimitHint(size_t items_per_positioning) override {
     hint_ = items_per_positioning;
   }
 
   void Next() override {
+    EnsurePositioned();
     if (!valid_) {
       return;
     }
@@ -1342,23 +1378,19 @@ class Wormhole::CursorImpl final : public Cursor {
     }
     // Window drained: the logical position is "first key > the one we just
     // returned" — remember it so any fallback re-routes exactly there.
-    // assign(), not a view: Refill is about to recycle the flat buffer.
+    // assign(), not a view: the refill is about to recycle the flat buffer.
     bound_.assign(win_.KeyAt(pos_));
     strict_ = true;
-    // A truncated window left items behind in this very leaf — a leaf hop
-    // would skip them, so continue inside the (revalidated) leaf instead.
-    // A failed hop (any write section in the leaf since the fill lost the
-    // version race) also retries as a continuation: re-rank under the
-    // coverage check and hop from the fresh snapshot, which is far cheaper
-    // than the full re-route ContinueForward falls back to.
-    if (trunc_hi_) {
-      ContinueForward();
-    } else if (!HopForward()) {
-      ContinueForward();
-    }
+    // Defer the refill until the cursor is queried again (Valid/key/value or
+    // another step). A bounded scan's LAST Next() always drains its window;
+    // refilling eagerly there would copy a whole window — up to half of all
+    // fill work for a scan that fits one window — that the caller, who is
+    // about to stop, never reads.
+    pending_ = Pending::kForward;
   }
 
   void Prev() override {
+    EnsurePositioned();
     if (!valid_) {
       return;
     }
@@ -1369,17 +1401,59 @@ class Wormhole::CursorImpl final : public Cursor {
     }
     bound_.assign(win_.KeyAt(0));
     strict_ = true;
-    if (trunc_lo_) {
-      ContinueBackward();
-    } else if (!HopBackward()) {
-      ContinueBackward();  // same failed-hop retry as Next()
+    pending_ = Pending::kBackward;
+  }
+
+  std::string_view key() const override {
+    EnsurePositioned();
+    return win_.KeyAt(pos_);
+  }
+  std::string_view value() const override {
+    EnsurePositioned();
+    return win_.ValueAt(pos_);
+  }
+
+ private:
+  // A deferred window-boundary step parked by Next()/Prev(): bound_ and
+  // strict_ already name the logical position; the refill that materializes
+  // it runs on the next query. Every public entry point funnels through
+  // EnsurePositioned() first, so the deferral is never observable.
+  enum class Pending { kNone, kForward, kBackward };
+
+  void EnsurePositioned() const {
+    if (pending_ != Pending::kNone) {
+      const_cast<CursorImpl*>(this)->Advance();
     }
   }
 
-  std::string_view key() const override { return win_.KeyAt(pos_); }
-  std::string_view value() const override { return win_.ValueAt(pos_); }
+  void Advance() {
+    const Pending p = pending_;
+    pending_ = Pending::kNone;
+    if (p == Pending::kForward) {
+      // A truncated window left items behind in this very leaf — a leaf hop
+      // would skip them, so continue inside the (revalidated) leaf instead.
+      // Otherwise hop: speculative first (no lock), then the locked hop, and
+      // a failed locked hop retries as a continuation — re-rank under the
+      // coverage check and hop from the fresh snapshot, far cheaper than the
+      // full re-route ContinueForwardLocked falls back to.
+      if (trunc_hi_) {
+        ContinueForward();
+      } else if (wh_->opt_.optimistic_retries == 0 || !SpecHopForward()) {
+        if (!HopForward()) {
+          ContinueForwardLocked();
+        }
+      }
+    } else {
+      if (trunc_lo_) {
+        ContinueBackward();
+      } else if (wh_->opt_.optimistic_retries == 0 || !SpecHopBackward()) {
+        if (!HopBackward()) {
+          ContinueBackwardLocked();  // same failed-hop retry as the forward leg
+        }
+      }
+    }
+  }
 
- private:
   // Remaining per-positioning budget: the hint promises "about hint_ items
   // consumed per Seek/SeekForPrev", so a continuation mid-scan only needs
   // what is left of that promise — a 100-item scan that drains 68 items off
@@ -1393,15 +1467,168 @@ class Wormhole::CursorImpl final : public Cursor {
     return consumed_ < hint_ ? hint_ - consumed_ : hint_;
   }
 
+  // Verdict of one speculative fill attempt. kMoved is the coverage
+  // pre-filter rejecting bound_ (leaf split past it / retired / stale
+  // route): the bound lives elsewhere, so retrying the same leaf is
+  // pointless — reposition instead, exactly like the locked Covers checks.
+  enum class SpecFill { kOk, kRetry, kMoved };
+
+  // One speculative window fill against `leaf`, bracketed by the seqlock
+  // protocol exactly like OptimisticLeafGet: even-version snapshot, coverage
+  // pre-filter, bounds-clamped SpecFillWindow copy, then acquire fence +
+  // version re-read + dead-flag recheck. On kOk the window, truncation
+  // flags, and the (leaf_, leaf_version_) snapshot are installed — the
+  // validated even `begin` IS the snapshot version every later hop or
+  // continuation revalidates, the same role the under-lock version load
+  // plays in the locked fills. No lock, no atomic RMW on any outcome.
+  // `has_bound` selects the rank source: the bound_ rank search for
+  // positioning/continuation fills, or the leaf edge for hop fills (which
+  // pre-check only the dead flag — a hop target legitimately does not cover
+  // bound_).
+  // NO_TSA: the seqlock-reader shape (sync.h usage rules) — reads
+  // GUARDED_BY(leaf->lock) data with no lock held and discards the result
+  // unless the version validates; the TSan hammer tests exercise the race.
+  SpecFill TrySpecFill(Leaf* leaf, bool forward, bool has_bound,
+                       bool strict) NO_THREAD_SAFETY_ANALYSIS {
+    const uint64_t begin = leafops::SeqlockReadBegin(leaf->version);
+    if ((begin & 1) != 0) {
+      return SpecFill::kRetry;  // writer mid-section; reading is pointless
+    }
+    if (has_bound) {
+      if (!Covers(leaf, bound_)) {
+        return SpecFill::kMoved;
+      }
+    } else if (leaf->retired()) {
+      return SpecFill::kRetry;
+    }
+    const leafops::SpecWindow w = leafops::SpecFillWindow(
+        leaf->store, forward, has_bound, bound_, strict, Budget(), &win_);
+    if (!w.ok) {
+      return SpecFill::kRetry;  // internally impossible snapshot
+    }
+    if (!leafops::SeqlockReadValidate(leaf->version, begin) ||
+        leaf->retired()) {
+      return SpecFill::kRetry;
+    }
+    trunc_lo_ = w.lo > 0;
+    trunc_hi_ = w.hi < w.n;
+    leaf_ = leaf;
+    leaf_version_ = begin;
+    // Warm the next hop target only when this window reached the leaf edge
+    // in scan direction — a truncated window's next refill continues inside
+    // THIS leaf, so the neighbor's lines would be fetched for nothing (and
+    // bounded short scans would pay it on every positioning).
+    if (forward ? !trunc_hi_ : !trunc_lo_) {
+      PrefetchNeighborData(leaf, forward);
+    }
+    return SpecFill::kOk;
+  }
+
+  // Warm the likely next hop target while the caller drains this window:
+  // header plus the store's ordered index, slot array, and slab head — the
+  // lines the next fill touches first. The locked fills stop at the header
+  // because they would prefetch while HOLDING the current leaf's lock;
+  // here no lock is held at all, and reaching the neighbor's block
+  // pointers is an atomic AcquireView (a prefetch of the payload is not a
+  // memory access the model sees), so the deep prefetch is legal.
+  // NO_TSA: same lock-free neighbor peek as TrySpecFill.
+  void PrefetchNeighborData(const Leaf* leaf,
+                            bool forward) NO_THREAD_SAFETY_ANALYSIS {
+    const Leaf* nb = forward ? leaf->next.load(std::memory_order_acquire)
+                             : leaf->prev.load(std::memory_order_acquire);
+    if (nb == nullptr) {
+      return;
+    }
+    PrefetchRead(nb);
+    PrefetchRead(nb->store.by_key.AcquireView().p);
+    PrefetchRead(nb->store.slots.AcquireView().p);
+    PrefetchRead(nb->store.slab.AcquireView().p);
+  }
+
+  // Speculative counterpart of HopForward: (leaf_, leaf_version_) hold a
+  // validated snapshot whose window reached the leaf end. The safety
+  // argument is the locked hop's, minus the lock: load next, THEN
+  // revalidate the version (SeqlockReadValidate's acquire fence orders the
+  // two loads) — an unchanged version proves leaf_ never split after the
+  // next pointer was read, so that next still bounds everything the window
+  // covered. A successor's plain removal swings next without bumping the
+  // version, but that only grows the covered range. The hop target is then
+  // filled speculatively from rank 0; its own validation (+ dead recheck)
+  // guards the target's half of the race. Returns true when handled
+  // (window installed or list end reached), false on any lost race — the
+  // caller falls back to the locked hop against the same snapshot.
+  bool SpecHopForward() {
+    for (;;) {
+      Leaf* cur = leaf_;
+      Leaf* nx = cur->next.load(std::memory_order_acquire);
+      if (!leafops::SeqlockReadValidate(cur->version, leaf_version_)) {
+        return false;
+      }
+      if (nx == nullptr) {
+        valid_ = false;
+        return true;
+      }
+      if (TrySpecFill(nx, /*forward=*/true, /*has_bound=*/false,
+                      /*strict=*/false) != SpecFill::kOk) {
+        return false;
+      }
+      if (win_.size() > 0) {
+        pos_ = 0;
+        valid_ = true;
+        return true;
+      }
+      // A validated empty live leaf (only ever the head): keep walking from
+      // the fresh snapshot TrySpecFill installed.
+    }
+  }
+
+  // Mirror, with the locked hop's back-link guard: pv is accepted only
+  // while it still links forward to cur under its validated version — a
+  // lagging back-link (pv split; its new right sibling sits between them)
+  // fails that check. The check runs AFTER the fill: if it fails, the fill
+  // just installed the WRONG predecessor as the snapshot, so restore the
+  // previous (still coherent) one before handing the caller to the locked
+  // fallback — otherwise the locked hop would resume from pv and skip
+  // every key in between.
+  bool SpecHopBackward() {
+    for (;;) {
+      Leaf* cur = leaf_;
+      const uint64_t cur_version = leaf_version_;
+      Leaf* pv = cur->prev.load(std::memory_order_acquire);
+      if (!leafops::SeqlockReadValidate(cur->version, cur_version)) {
+        return false;
+      }
+      if (pv == nullptr) {
+        valid_ = false;  // cur is the head leaf: nothing before it
+        return true;
+      }
+      if (TrySpecFill(pv, /*forward=*/false, /*has_bound=*/false,
+                      /*strict=*/false) != SpecFill::kOk) {
+        return false;
+      }
+      if (pv->next.load(std::memory_order_acquire) != cur ||
+          !leafops::SeqlockReadValidate(pv->version, leaf_version_)) {
+        leaf_ = cur;
+        leaf_version_ = cur_version;
+        return false;
+      }
+      if (win_.size() > 0) {
+        pos_ = win_.size() - 1;
+        valid_ = true;
+        return true;
+      }
+    }
+  }
+
   // Bounded refill from ranks [lo, min(lo + budget, size)); caller holds
   // leaf->lock shared and this RELEASES it. The version snapshot taken here
   // is what every later hop or in-leaf continuation revalidates; trunc_*_
   // record whether either side of the leaf was left out, i.e. whether a
   // plain leaf hop at the matching window edge would skip items. Also the
   // prefetch point: the likely next leaf's header is warmed while the
-  // caller drains this window. Header only — unlike the single-threaded
-  // cursor we must not peek into a neighbor's store vectors without its
-  // lock, that would race with a writer mid-mutation.
+  // caller drains this window. Header only — peeking into a neighbor's
+  // store while HOLDING this leaf's lock is the shape the lock discipline
+  // bans; the speculative fills above, which hold nothing, go deeper.
   void FillForward(Leaf* leaf, size_t lo) RELEASE_SHARED(leaf->lock) {
     const leafops::LeafStore& s = leaf->store;
     const size_t budget = Budget();
@@ -1430,10 +1657,122 @@ class Wormhole::CursorImpl final : public Cursor {
     leaf->lock.unlock_shared();
   }
 
-  // Fresh route to "first key (strict_ ? > : >=) bound_": Seek and the
-  // re-route fallback after a lost validation race. AcquireLeaf locks +
-  // validates coverage exactly like Get.
+  // Fresh positioning at "first key (strict_ ? > : >=) bound_": Seek and
+  // the re-route fallback after a lost continuation race. Mirrors Get's
+  // loop shape — optimistic_retries lock-free attempts (route fresh each
+  // time; any validation loss just re-routes), then the locked path.
   void PositionForward() {
+    for (uint32_t a = 0; a < wh_->opt_.optimistic_retries; a++) {
+      uint32_t h;
+      Leaf* leaf = wh_->RouteToLeaf(bound_, &h);
+      if (leaf == nullptr) {
+        continue;  // routed mid-publication; re-route
+      }
+      if (TrySpecFill(leaf, /*forward=*/true, /*has_bound=*/true, strict_) !=
+          SpecFill::kOk) {
+        continue;
+      }
+      if (win_.size() > 0) {
+        pos_ = 0;
+        valid_ = true;
+        return;
+      }
+      // Empty window: the seek rank was the leaf's end, so the validated
+      // window "covers" through the leaf boundary and a hop completes it.
+      if (SpecHopForward()) {
+        return;
+      }
+    }
+    PositionForwardLocked();
+  }
+
+  // Mirror image: "last key (strict_ ? < : <=) bound_".
+  void PositionBackward() {
+    for (uint32_t a = 0; a < wh_->opt_.optimistic_retries; a++) {
+      uint32_t h;
+      Leaf* leaf = wh_->RouteToLeaf(bound_, &h);
+      if (leaf == nullptr) {
+        continue;
+      }
+      if (TrySpecFill(leaf, /*forward=*/false, /*has_bound=*/true,
+                      !strict_) != SpecFill::kOk) {
+        continue;
+      }
+      if (win_.size() > 0) {
+        pos_ = win_.size() - 1;
+        valid_ = true;
+        return;
+      }
+      if (SpecHopBackward()) {
+        return;
+      }
+    }
+    PositionBackwardLocked();
+  }
+
+  // Speculative continuation past a truncated window edge: same leaf, fresh
+  // rank past bound_, no lock. A kMoved verdict (bound_ left the leaf) goes
+  // straight to repositioning — spec-first again, since positioning has its
+  // own fallback ladder. Lost races burn attempts, then the locked
+  // continuation takes over.
+  void ContinueForward() {
+    for (uint32_t a = 0; a < wh_->opt_.optimistic_retries; a++) {
+      const SpecFill oc =
+          TrySpecFill(leaf_, /*forward=*/true, /*has_bound=*/true,
+                      /*strict=*/true);
+      if (oc == SpecFill::kMoved) {
+        PositionForward();
+        return;
+      }
+      if (oc != SpecFill::kOk) {
+        continue;
+      }
+      if (win_.size() > 0) {
+        pos_ = 0;
+        valid_ = true;
+        return;
+      }
+      // Nothing past bound_ left in this leaf: the validated empty window
+      // reaches the leaf end with a fresh snapshot, so hop from it.
+      if (SpecHopForward()) {
+        return;
+      }
+    }
+    ContinueForwardLocked();
+  }
+
+  void ContinueBackward() {
+    for (uint32_t a = 0; a < wh_->opt_.optimistic_retries; a++) {
+      const SpecFill oc =
+          TrySpecFill(leaf_, /*forward=*/false, /*has_bound=*/true,
+                      /*strict=*/false);
+      if (oc == SpecFill::kMoved) {
+        PositionBackward();
+        return;
+      }
+      if (oc != SpecFill::kOk) {
+        continue;
+      }
+      if (win_.size() > 0) {
+        pos_ = win_.size() - 1;
+        valid_ = true;
+        return;
+      }
+      if (SpecHopBackward()) {
+        return;
+      }
+    }
+    ContinueBackwardLocked();
+  }
+
+  // --- locked fallback path (also the whole path when optimistic_retries
+  // --- is 0). Once an operation lands here it stays locked: bouncing back
+  // --- into speculation under the very churn that defeated it would burn
+  // --- retries without bounding the work.
+
+  // Locked fresh route: AcquireLeaf locks + validates coverage exactly like
+  // Get's fallback.
+  void PositionForwardLocked() {
     for (;;) {
       uint32_t h;
       Leaf* leaf = wh_->AcquireLeaf(bound_, Mode::kShared, &h);
@@ -1452,8 +1791,7 @@ class Wormhole::CursorImpl final : public Cursor {
     }
   }
 
-  // Mirror image: "last key (strict_ ? < : <=) bound_".
-  void PositionBackward() {
+  void PositionBackwardLocked() {
     for (;;) {
       uint32_t h;
       Leaf* leaf = wh_->AcquireLeaf(bound_, Mode::kShared, &h);
@@ -1471,21 +1809,21 @@ class Wormhole::CursorImpl final : public Cursor {
     }
   }
 
-  // Continues past a truncated window edge without a re-route. The version
-  // counter now advances on EVERY write section (the seqlock protocol), so
-  // equality would force a re-route on any in-leaf churn; under the shared
-  // lock a weaker check suffices: a live leaf that still covers bound_ holds
-  // exactly the keys between bound_ and its current next anchor, so the
-  // successor of bound_ (if any in range) lives here — re-rank and refill.
-  // The refill re-snapshots the version, so a follow-up hop validates
-  // against fresh state. Only a moved/removed bound_ falls back to the
-  // full route.
-  void ContinueForward() {
+  // Locked continuation past a truncated window edge without a re-route.
+  // The version counter advances on EVERY write section (the seqlock
+  // protocol), so equality would force a re-route on any in-leaf churn;
+  // under the shared lock a weaker check suffices: a live leaf that still
+  // covers bound_ holds exactly the keys between bound_ and its current
+  // next anchor, so the successor of bound_ (if any in range) lives here —
+  // re-rank and refill. The refill re-snapshots the version, so a follow-up
+  // hop validates against fresh state. Only a moved/removed bound_ falls
+  // back to the full (locked) route.
+  void ContinueForwardLocked() {
     Leaf* cur = leaf_;
     cur->lock.lock_shared();
     if (!Covers(cur, bound_)) {
       cur->lock.unlock_shared();
-      PositionForward();
+      PositionForwardLocked();
       return;
     }
     FillForward(cur,
@@ -1499,16 +1837,16 @@ class Wormhole::CursorImpl final : public Cursor {
     // or the leaf split at bound_): the fresh empty window reaches the leaf
     // end with a just-recorded version, so hop from it.
     if (!HopForward()) {
-      PositionForward();
+      PositionForwardLocked();
     }
   }
 
-  void ContinueBackward() {
+  void ContinueBackwardLocked() {
     Leaf* cur = leaf_;
     cur->lock.lock_shared();
     if (!Covers(cur, bound_)) {
       cur->lock.unlock_shared();
-      PositionBackward();
+      PositionBackwardLocked();
       return;
     }
     FillBackward(cur,
@@ -1519,7 +1857,7 @@ class Wormhole::CursorImpl final : public Cursor {
       return;
     }
     if (!HopBackward()) {
-      PositionBackward();
+      PositionBackwardLocked();
     }
   }
 
@@ -1604,6 +1942,7 @@ class Wormhole::CursorImpl final : public Cursor {
   size_t consumed_ = 0;  // steps taken since the last Seek/SeekForPrev
   std::string bound_;  // re-route point: first/last key (strict_?beyond:at) it
   bool strict_ = false;
+  Pending pending_ = Pending::kNone;  // deferred boundary step (see Advance)
 };
 
 std::unique_ptr<Cursor> Wormhole::NewCursor() {

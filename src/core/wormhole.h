@@ -58,7 +58,7 @@
 //     the read falls back to the shared-lock path below, so readers cannot
 //     livelock under write storms. The fast path performs zero atomic RMW:
 //     no reader-count cache line bounces between cores.
-//   - The locked fallback (also the cursor positioning path) takes the target
+//   - The locked fallback (also the cursor fill fallback) takes the target
 //     leaf's reader-writer lock, validates coverage, and retries a stale
 //     route; after a bounded number of attempts it serializes with writers.
 //   - In-leaf writes (update / insert with room / non-emptying delete) take
@@ -79,28 +79,42 @@
 // WormholeUnsafe's cursor is emit-in-place: a bare (leaf, rank) position that
 // reads keys and values straight off the live leaf slab — zero copies — and
 // prefetches the next hop target (header + index + slab lines) while the
-// current leaf drains. The concurrent cursor's protocol, mirroring Get:
+// current leaf drains (skipped when a SetScanLimitHint proves the scan fits
+// the current leaf). The concurrent cursor's protocol, mirroring Get:
 //   - The cursor holds a QSBR *epoch pin* (Qsbr::Pin) for its lifetime, so
 //     the leaf pointer it remembers between calls stays dereferenceable even
 //     after the leaf is unlinked — exactly the guarantee lock-free lookups
 //     get from their implicit no-quiesce window, made explicit across calls.
-//   - Positioning routes through AcquireLeaf (lock + covers-validation +
-//     bounded retry), computes the seek rank against the live store, and
-//     fills a flat window buffer from the leaf slab under the per-leaf
-//     shared lock (one validated slab read; no per-item allocation). With a
-//     SetScanLimitHint in effect the fill is BOUNDED — a scan that fits the
+//   - Every window fill is SPECULATIVE first: route lock-free to the leaf,
+//     read an even seqlock version, rank + copy the window through the same
+//     relaxed-atomic bounds-clamped discipline SpecFind uses
+//     (leafops::SpecFillWindow), then validate — acquire fence, version
+//     unchanged, leaf not dead. A validated window is a consistent snapshot
+//     taken with ZERO atomic RMW: read-only scans never write a leaf lock
+//     word or any other shared cache line. While a validated window drains,
+//     the cursor prefetches the NEXT leaf's rank index / slot array / slab
+//     (safe precisely because the speculative path holds no lock — the
+//     neighbor's blocks are QSBR-protected and prefetch is invisible to the
+//     memory model). After Options::optimistic_retries failed validations
+//     the fill falls back to the locked path below, exactly like Get.
+//   - The locked fallback routes through AcquireLeaf (lock + covers-
+//     validation + bounded retry), computes the seek rank against the live
+//     store, and fills the same flat window under the per-leaf shared lock.
+//     Either way the fill honors SetScanLimitHint — a scan that fits the
 //     hint copies only the items it will emit and nothing else; without a
 //     hint the fill covers the rest of the leaf. User code only ever sees
 //     the window: no cursor path holds a leaf lock while invoking user code,
 //     and a cursor parked between calls blocks no writer.
 //   - Next/Prev past a window edge flush with the leaf boundary hop to the
-//     neighbor leaf: re-lock the remembered leaf, revalidate via its version
-//     counter (and the neighbor's dead flag + back-link). Past a TRUNCATED
-//     edge (bounded fill left items behind in the same leaf) the cursor
-//     refills from the same leaf under the same version check. Any lost
-//     race — the leaf split, was removed, or the neighbor changed mid-hop —
-//     falls back to a fresh re-Seek from the last returned key, which can
-//     only re-route, never skip or duplicate a persistent key.
+//     neighbor leaf: load the neighbor pointer, revalidate the drained
+//     leaf's version (which proves the pointer still bounds the window),
+//     then speculatively fill the neighbor — plus its dead flag and, going
+//     backward, the back-link. Past a TRUNCATED edge (bounded fill left
+//     items behind in the same leaf) the cursor refills from the same leaf.
+//     Any lost race — the leaf split, was removed, or the neighbor changed
+//     mid-hop — falls back to the locked hop (version-equality check under
+//     the lock) and ultimately a fresh re-Seek from the last returned key,
+//     which can only re-route, never skip or duplicate a persistent key.
 // Consequence: a cursor observes each window atomically (a consistent
 // snapshot at fill time); concurrent inserts/deletes elsewhere may or may
 // not be seen, and keys present for the whole traversal are seen exactly

@@ -27,8 +27,8 @@ def check(name, cond, detail=""):
         FAILURES.append(name)
 
 
-def snapshot(ycsb_e=None, fwd100=None, read1t=None, scale=1000, threads=4,
-             seconds=1):
+def snapshot(ycsb_e=None, fwd100=None, read1t=None, short16=None, scale=1000,
+             threads=4, seconds=1):
     """Build a snapshot dict in the shape bench_snapshot.sh emits. Any
     metric can be omitted to simulate an old/partial snapshot."""
     benches = []
@@ -44,18 +44,29 @@ def snapshot(ycsb_e=None, fwd100=None, read1t=None, scale=1000, threads=4,
                 ],
             }],
         })
+    fig18_sections = []
     if fwd100 is not None:
-        benches.append({
-            "bench": "fig18_range",
-            "sections": [{
-                "title": "forward scan 100 (Mops)",
-                "cols": ["az", "url"],
-                "rows": [
-                    {"label": "Wormhole", "values": [fwd100, fwd100]},
-                    {"label": "Masstree", "values": [0.1, 0.1]},
-                ],
-            }],
+        fig18_sections.append({
+            "title": "forward scan 100 (Mops)",
+            "cols": ["az", "url"],
+            "rows": [
+                {"label": "Wormhole", "values": [fwd100, fwd100]},
+                {"label": "Masstree", "values": [0.1, 0.1]},
+            ],
         })
+    if short16 is not None:
+        # Matches the real section shape: the gate takes the Az1 CELL of the
+        # Wormhole row, not a mean, so give Az2 a decoy value.
+        fig18_sections.append({
+            "title": "short scan 16 (YCSB-E) (Mops)",
+            "cols": ["Az1", "Az2"],
+            "rows": [
+                {"label": "Wormhole", "values": [short16, short16 * 0.5]},
+                {"label": "Masstree", "values": [0.2, 0.2]},
+            ],
+        })
+    if fig18_sections:
+        benches.append({"bench": "fig18_range", "sections": fig18_sections})
     if read1t is not None:
         benches.append({
             "bench": "fig09_scalability",
@@ -153,6 +164,70 @@ with tempfile.TemporaryDirectory() as root:
     code, out, err = run("compare", base3, cur)
     check("read regression exits 1", code == 1
           and "fig09-read-1t" in err and "dropped 50.0%" in err,
+          f"(exit {code}, stderr {err!r})")
+
+    print("[compare fig18 short16 metric]")
+    # Single Az1 cell of the Wormhole row in the "short scan 16" section —
+    # NOT a row mean, so a healthy Az1 passes even with a sagging Az2 decoy.
+    base4 = write(root, "base_s16.json",
+                  snapshot(ycsb_e=10.0, fwd100=2.0, short16=4.0))
+    cur = write(root, "cur_s16_ok.json",
+                snapshot(ycsb_e=10.0, fwd100=2.0, short16=3.9))
+    code, out, err = run("compare", base4, cur)
+    check("short16 within threshold exits 0", code == 0
+          and "fig18-short16: current 3.9000 vs baseline 4.0000" in out,
+          f"(exit {code}, out {out!r}, err {err!r})")
+    cur = write(root, "cur_s16_bad.json",
+                snapshot(ycsb_e=10.0, fwd100=2.0, short16=2.0))
+    code, out, err = run("compare", base4, cur)
+    check("short16 regression exits 1", code == 1
+          and "fig18-short16" in err and "dropped 50.0%" in err,
+          f"(exit {code}, stderr {err!r})")
+    # fwd-100 present but the short-scan section absent: the per-metric
+    # extractors must not cross-match sections within fig18_range.
+    cur = write(root, "cur_s16_missing.json",
+                snapshot(ycsb_e=10.0, fwd100=2.0, short16=None))
+    code, out, err = run("compare", base4, cur)
+    check("short16 missing while fwd100 present exits 1", code == 1
+          and "fig18-short16 missing from the current run" in err
+          and "fig18-fwd-100" not in err,
+          f"(exit {code}, stderr {err!r})")
+
+    print("[compare best-of-N samples]")
+    # Several current snapshots gate each metric on its BEST sample: a
+    # noisy-low run is forgiven if any sample clears the floor, and the
+    # metrics may peak in different samples.
+    lo1 = write(root, "cur_bo_lo1.json", snapshot(ycsb_e=5.0, fwd100=1.9))
+    lo2 = write(root, "cur_bo_lo2.json", snapshot(ycsb_e=9.0, fwd100=0.5))
+    code, out, err = run("compare", base, lo1, lo2)
+    check("per-metric best across samples exits 0", code == 0,
+          f"(exit {code}, out {out!r}, err {err!r})")
+    check("best sample is reported", "best of 2 samples" in out
+          and "service-ycsb-e: current 9.0000" in out
+          and "fig18-fwd-100: current 1.9000" in out,
+          f"(out {out!r})")
+    # All samples below the floor still fails.
+    code, out, err = run("compare", base, lo1,
+                         write(root, "cur_bo_lo3.json",
+                               snapshot(ycsb_e=5.5, fwd100=1.9)))
+    check("all samples low exits 1", code == 1
+          and "service-ycsb-e" in err, f"(exit {code}, stderr {err!r})")
+    # A metric missing from one sample gates on the samples that have it;
+    # missing from ALL samples still fails.
+    code, out, err = run("compare", base,
+                         write(root, "cur_bo_part.json",
+                               snapshot(ycsb_e=9.0, fwd100=None)),
+                         write(root, "cur_bo_full.json",
+                               snapshot(ycsb_e=5.0, fwd100=1.9)))
+    check("partial sample coverage exits 0", code == 0,
+          f"(exit {code}, out {out!r}, err {err!r})")
+    code, out, err = run("compare", base,
+                         write(root, "cur_bo_none1.json",
+                               snapshot(ycsb_e=9.0, fwd100=None)),
+                         write(root, "cur_bo_none2.json",
+                               snapshot(ycsb_e=9.0, fwd100=None)))
+    check("metric absent from every sample exits 1", code == 1
+          and "fig18-fwd-100 missing from the current run" in err,
           f"(exit {code}, stderr {err!r})")
 
     print("[compare custom threshold]")

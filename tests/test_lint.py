@@ -327,6 +327,37 @@ unsigned long f(Leaf* l) {
 expect_clean("allowlist", "src/core/x.cc", BAD_SEQLOCK_FOREIGN,
              ["seqlock-order|src/core/x.cc|l->version.load"])
 
+# The leaf retirement flag rides on the same rule (speculative fills recheck
+# it after validation), call forms only.
+BAD_DEAD_FOREIGN = """#include <atomic>
+struct Leaf { std::atomic<bool> dead{false}; };
+bool f(Leaf* l) {
+  return l->dead.load(std::memory_order_acquire);
+}
+"""
+expect_fires("dead-flag access outside home files", "src/core/x.cc",
+             BAD_DEAD_FOREIGN, "seqlock-order")
+
+expect_fires("dead-flag access in tests/ too", "tests/x.cc",
+             BAD_DEAD_FOREIGN, "seqlock-order")
+
+expect_fires("dead-flag implicit order inside wormhole.cc",
+             "src/core/wormhole.cc", """#include <atomic>
+struct Leaf { std::atomic<bool> dead{false}; };
+void f(Leaf* l) { l->dead.store(true); }
+""", "seqlock-order")
+
+expect_clean("dead-flag explicit order inside wormhole.cc",
+             "src/core/wormhole.cc", """#include <atomic>
+struct Leaf { std::atomic<bool> dead{false}; };
+void f(Leaf* l) { l->dead.store(true, std::memory_order_release); }
+""")
+
+expect_clean("plain dead-bytes counter += does not match", "src/core/x.h",
+             """struct Store { unsigned dead = 0; };
+void f(Store* s, unsigned n) { s->dead += n; }
+""")
+
 # --- raw-io -----------------------------------------------------------------
 
 case("raw-io")

@@ -6,13 +6,20 @@
 // truncated window edges. leaf_capacity=4 forces every scan of more than a
 // few items to straddle leaf splits, so the bounded refill, the in-leaf
 // continuation, and the leaf-hop paths all engage; the default capacity
-// covers the everything-fits-one-window case. A final two-thread test drives
+// covers the everything-fits-one-window case. The multi-thread tests drive
 // bounded cursors under structural churn so the TSan stage (scripts/check.sh)
 // watches the fast path's lock/validation protocol, not just its quiesced
-// results.
+// results — including the SPECULATIVE window fills (seqlock-validated,
+// lock-free; wormhole.h): a sweep hammer under split/merge + inline<->slab
+// value churn asserts untorn values and exactly-once residents, and a
+// forced-fallback differential (optimistic_retries=0) pins the locked path
+// to the oracle so the fallback ladder cannot rot behind the fast path.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
@@ -255,6 +262,228 @@ TEST(ScanFastpath, BoundedCursorsUnderChurn) {
   }
 
   std::this_thread::sleep_for(std::chrono::milliseconds(1200));
+  stop.store(true);
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_GT(scans.load(), 0u);
+}
+
+// The speculative fill's hardest diet: full-range cursor sweeps while two
+// writers (a) flip resident values between an inline encoding (<= 8 bytes,
+// stored in the slot) and a slab-backed one (torn copies would mix the two
+// or cut one short), and (b) churn same-prefix neighbor keys at
+// leaf_capacity=4 so leaves split and drain mid-sweep. Residents are never
+// deleted, so the cursor contract owes each sweep every resident exactly
+// once, in order, with an untorn value. After the writers stop, a forward
+// and a reverse sweep must mirror each other exactly.
+TEST(ScanFastpath, SpeculativeSweepsUnderSplitMergeValueChurn) {
+  Options opt;
+  opt.leaf_capacity = 4;
+  Wormhole index(opt);
+
+  constexpr int kResident = 600;
+  auto resident_key = [](int i) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "spec-%06d", i);
+    return std::string(buf);
+  };
+  // The two legal values per resident, both derived from the key: one fits
+  // the inline slot encoding, one forces a slab copy.
+  auto short_val = [](const std::string& k) { return k.substr(k.size() - 6); };
+  auto long_val = [](const std::string& k) { return k + k + k; };
+  const std::string kChurnVal = "cv";
+
+  for (int i = 0; i < kResident; i++) {
+    const std::string k = resident_key(i);
+    index.Put(k, short_val(k));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> sweeps{0};
+  std::atomic<uint64_t> failures{0};
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < 2; tid++) {
+    threads.emplace_back([&, tid] {
+      Rng rng(97 + static_cast<uint64_t>(tid));
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::string rk =
+            resident_key(static_cast<int>(rng.NextBounded(kResident)));
+        index.Put(rk, (i & 1) != 0 ? long_val(rk) : short_val(rk));
+        // Churn keys extend a resident key, so they land in the same leaves
+        // the sweeps are draining — splits and empty-leaf removals happen
+        // under the cursor, not off in a disjoint key range.
+        const std::string ck =
+            resident_key(static_cast<int>(rng.NextBounded(kResident))) + "+c" +
+            std::to_string(tid);
+        if (i % 3 == 2) {
+          index.Delete(ck);
+        } else {
+          index.Put(ck, kChurnVal);
+        }
+        i++;
+      }
+    });
+  }
+  for (int tid = 0; tid < 2; tid++) {
+    threads.emplace_back([&, tid] {
+      Rng rng(1009 + static_cast<uint64_t>(tid));
+      auto c = index.NewCursor();
+      std::vector<uint8_t> seen(kResident);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const bool reverse = rng.NextBounded(2) == 0;
+        const size_t hint = 1 + rng.NextBounded(24);
+        c->SetScanLimitHint(hint);
+        std::fill(seen.begin(), seen.end(), 0);
+        std::string prev;
+        bool first = true;
+        if (reverse) {
+          c->SeekForPrev(HighSentinel());
+        } else {
+          c->Seek("");
+        }
+        for (; c->Valid(); reverse ? c->Prev() : c->Next()) {
+          const std::string k(c->key());
+          const std::string v(c->value());
+          if (!first &&
+              (reverse ? !(k < prev) : !(prev < k))) {
+            failures.fetch_add(1);  // out of order or duplicate
+          }
+          first = false;
+          prev = k;
+          if (k.size() == 11 && k.compare(0, 5, "spec-") == 0) {
+            int idx = std::atoi(k.c_str() + 5);
+            if (idx < 0 || idx >= kResident || seen[idx]++ != 0) {
+              failures.fetch_add(1);  // resident duplicated within one sweep
+            }
+            if (v != short_val(k) && v != long_val(k)) {
+              failures.fetch_add(1);  // torn value
+            }
+          } else if (v != kChurnVal) {
+            failures.fetch_add(1);  // torn churn value
+          }
+        }
+        for (int i = 0; i < kResident; i++) {
+          if (!seen[i]) {
+            failures.fetch_add(1);  // resident skipped
+          }
+        }
+        sweeps.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+  stop.store(true);
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_GT(sweeps.load(), 0u);
+
+  // Quiescent mirror check: the forward stream and the reversed reverse
+  // stream must be byte-identical (keys and values).
+  auto c = index.NewCursor();
+  Stream fwd;
+  for (c->Seek(""); c->Valid(); c->Next()) {
+    fwd.emplace_back(std::string(c->key()), std::string(c->value()));
+  }
+  Stream rev;
+  for (c->SeekForPrev(HighSentinel()); c->Valid(); c->Prev()) {
+    rev.emplace_back(std::string(c->key()), std::string(c->value()));
+  }
+  std::reverse(rev.begin(), rev.end());
+  EXPECT_EQ(fwd, rev);
+  EXPECT_GE(fwd.size(), static_cast<size_t>(kResident));
+}
+
+// optimistic_retries=0 disables speculation entirely: every fill, hop, and
+// continuation runs the locked fallback ladder. The full differential (all
+// keysets, minimum leaf capacity) run in this mode pins the fallback to the
+// oracle, so a speculative-path bug can never hide behind "the fallback
+// catches it" while the fallback itself has rotted.
+TEST(ScanFastpath, ForcedFallbackMatchesOracleAllKeysets) {
+  for (const KeysetId id : kAllKeysets) {
+    SCOPED_TRACE(std::string("keyset=") + KeysetName(id));
+    const auto pool = GenerateKeyset({id, 500, 13});
+    Options opt;
+    opt.leaf_capacity = 4;
+    opt.optimistic_retries = 0;
+    RunFastpathDifferential<Wormhole>(opt, pool,
+                                      0xfb4c ^ static_cast<uint64_t>(id));
+  }
+}
+
+// The same churn hammer as BoundedCursorsUnderChurn with speculation off:
+// under TSan this exercises the locked fill / hop / reposition protocol
+// against live writers, so both halves of the fallback rule stay
+// race-checked, not just the speculative half.
+TEST(ScanFastpath, ForcedFallbackCursorsUnderChurn) {
+  Options opt;
+  opt.leaf_capacity = 4;
+  opt.optimistic_retries = 0;
+  Wormhole index(opt);
+
+  constexpr int kResident = 1000;
+  auto key_of = [](int i) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "ff-%06d", i);
+    return std::string(buf);
+  };
+  for (int i = 0; i < kResident; i++) {
+    index.Put(key_of(i), "resident");
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> scans{0};
+  std::atomic<uint64_t> failures{0};
+  std::vector<std::thread> threads;
+  threads.emplace_back([&] {
+    Rng rng(271);
+    uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "ff-%06d+c",
+                    static_cast<int>(rng.NextBounded(kResident)));
+      if (i++ % 3 == 2) {
+        index.Delete(buf);
+      } else {
+        index.Put(buf, "churn");
+      }
+    }
+  });
+  for (int tid = 0; tid < 2; tid++) {
+    threads.emplace_back([&, tid] {
+      Rng rng(31 + static_cast<uint64_t>(tid));
+      auto c = index.NewCursor();
+      while (!stop.load(std::memory_order_relaxed)) {
+        const size_t limit = 1 + rng.NextBounded(16);
+        c->SetScanLimitHint(limit);
+        const std::string start =
+            key_of(static_cast<int>(rng.NextBounded(kResident)));
+        std::string prev;
+        bool first = true;
+        size_t got = 0;
+        for (c->Seek(start); c->Valid() && got < limit; c->Next(), got++) {
+          const std::string_view k = c->key();
+          if (first) {
+            if (k < std::string_view(start)) {
+              failures.fetch_add(1);
+            }
+            first = false;
+          } else if (k <= std::string_view(prev)) {
+            failures.fetch_add(1);
+          }
+          prev.assign(k);
+        }
+        scans.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(800));
   stop.store(true);
   for (auto& t : threads) {
     t.join();
